@@ -1,0 +1,93 @@
+// Command apasm assembles MSS assembly source (the simulator's
+// SimpleScalar-inspired ISA, see internal/isa) into a loadable binary
+// image.
+//
+// Usage:
+//
+//	apasm -o prog.bin prog.s
+//	apasm -list prog.s         # print segments and symbols
+//
+// The binary format is a simple segment list:
+//
+//	magic "MSS1" | entry(8) | nseg(4) | { addr(8) len(4) bytes } ...
+//	                                   | nsym(4) | { len(2) name addr(8) }
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"activepages/internal/asm"
+	"activepages/internal/isa"
+)
+
+func main() {
+	var (
+		out  = flag.String("o", "a.bin", "output file")
+		list = flag.Bool("list", false, "print segments and symbols instead of writing")
+		dis  = flag.Bool("dis", false, "disassemble (accepts .s source or an MSS1 binary)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: apasm [-o out.bin] [-list] [-dis] source.s|prog.bin")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apasm:", err)
+		os.Exit(1)
+	}
+	var img *asm.Image
+	if len(src) >= 4 && string(src[:4]) == "MSS1" {
+		img, err = asm.UnmarshalImage(src)
+	} else {
+		img, err = asm.Assemble(string(src))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apasm:", err)
+		os.Exit(1)
+	}
+	if *dis {
+		disassemble(img)
+		return
+	}
+	if *list {
+		fmt.Printf("entry %#x\n", img.Entry)
+		for _, seg := range img.Segments {
+			fmt.Printf("segment %#010x  %6d bytes\n", seg.Addr, len(seg.Bytes))
+		}
+		names := make([]string, 0, len(img.Symbols))
+		for n := range img.Symbols {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("symbol  %#010x  %s\n", img.Symbols[n], n)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, asm.MarshalImage(img), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "apasm:", err)
+		os.Exit(1)
+	}
+}
+
+// disassemble prints every word of each segment as an instruction when it
+// decodes, or as raw data otherwise.
+func disassemble(img *asm.Image) {
+	for _, seg := range img.Segments {
+		fmt.Printf("; segment %#010x (%d bytes)\n", seg.Addr, len(seg.Bytes))
+		for i := 0; i+4 <= len(seg.Bytes); i += 4 {
+			w := uint32(seg.Bytes[i]) | uint32(seg.Bytes[i+1])<<8 |
+				uint32(seg.Bytes[i+2])<<16 | uint32(seg.Bytes[i+3])<<24
+			addr := seg.Addr + uint64(i)
+			if in, err := isa.Decode(w); err == nil {
+				fmt.Printf("%#010x:  %08x  %s\n", addr, w, in)
+			} else {
+				fmt.Printf("%#010x:  %08x  .word\n", addr, w)
+			}
+		}
+	}
+}

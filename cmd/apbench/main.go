@@ -1,0 +1,193 @@
+// Command apbench regenerates the tables and figures of "Active Pages: A
+// Computation Model for Intelligent Memory" (ISCA 1998) from the simulator
+// in this repository.
+//
+// Usage:
+//
+//	apbench -experiment all
+//	apbench -experiment fig3 [-quick] [-pagebytes 65536]
+//	apbench -experiment table4
+//	apbench -experiment ablations
+//
+// Experiments: table1 table2 table3 table4 crossover fig3 fig4 fig5 fig8
+// fig9 smp ablations all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"activepages/internal/experiments"
+	"activepages/internal/radram"
+	"activepages/internal/tabler"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run")
+		quick      = flag.Bool("quick", false, "use a short problem-size axis")
+		pageBytes  = flag.Uint64("pagebytes", experiments.ScaledPageBytes,
+			"superpage size (512KiB = paper reference; smaller = scaled mode)")
+		regions = flag.Bool("regions", false, "with fig3: print region classification")
+		l2      = flag.Bool("l2", false, "with fig5: sweep the L2 instead of the L1D")
+		csvDir  = flag.String("csv", "", "also write each figure as CSV into this directory")
+	)
+	flag.Parse()
+
+	cfg := radram.DefaultConfig().WithPageBytes(*pageBytes)
+	points := experiments.DefaultPagePoints()
+	if *quick {
+		points = experiments.QuickPagePoints()
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "apbench:", err)
+			os.Exit(1)
+		}
+	}
+	if err := run(*experiment, cfg, points, *regions, *l2, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "apbench:", err)
+		os.Exit(1)
+	}
+}
+
+// writeCSV saves a figure to dir/name.csv when dir is set.
+func writeCSV(dir, name string, f *tabler.Figure) error {
+	if dir == "" {
+		return nil
+	}
+	return os.WriteFile(filepath.Join(dir, name+".csv"), []byte(f.CSV()), 0o644)
+}
+
+func run(experiment string, cfg radram.Config, points []float64, regions, l2 bool, csvDir string) error {
+	out := os.Stdout
+	switch experiment {
+	case "table1":
+		experiments.Table1(cfg).WriteTo(out)
+	case "table2":
+		experiments.Table2().WriteTo(out)
+	case "table3":
+		experiments.Table3().WriteTo(out)
+	case "table4":
+		rows, err := experiments.Table4(cfg, 16, points)
+		if err != nil {
+			return err
+		}
+		experiments.RenderTable4(rows).WriteTo(out)
+	case "fig3", "fig4":
+		sweeps, err := experiments.RunAllSweeps(cfg, points)
+		if err != nil {
+			return err
+		}
+		if experiment == "fig3" {
+			f := experiments.Figure3(sweeps)
+			f.WriteTo(out)
+			if err := writeCSV(csvDir, "fig3", f); err != nil {
+				return err
+			}
+			if regions {
+				for _, s := range sweeps {
+					fmt.Fprintf(out, "%s regions: %v\n", s.Benchmark, s.Regions())
+				}
+			}
+		} else {
+			f := experiments.Figure4(sweeps)
+			f.WriteTo(out)
+			if err := writeCSV(csvDir, "fig4", f); err != nil {
+				return err
+			}
+		}
+	case "fig5":
+		level, sizes := "L1D", experiments.DefaultL1Sizes()
+		if l2 {
+			level, sizes = "L2", experiments.DefaultL2Sizes()
+		}
+		names := []string{"database", "median-kernel", "median-total", "array", "dynamic-prog"}
+		conv, rad, err := experiments.CacheSweep(names, cfg, level, sizes, 16)
+		if err != nil {
+			return err
+		}
+		conv.WriteTo(out)
+		fmt.Fprintln(out)
+		rad.WriteTo(out)
+		if err := writeCSV(csvDir, "fig5-conventional", conv); err != nil {
+			return err
+		}
+		if err := writeCSV(csvDir, "fig5-radram", rad); err != nil {
+			return err
+		}
+	case "fig8":
+		f, err := experiments.MissLatencySweep(cfg, experiments.DefaultMissLatencies(), 16)
+		if err != nil {
+			return err
+		}
+		f.WriteTo(out)
+		if err := writeCSV(csvDir, "fig8", f); err != nil {
+			return err
+		}
+	case "fig9":
+		f, err := experiments.LogicSpeedSweep(cfg, experiments.DefaultLogicDivisors(), 16)
+		if err != nil {
+			return err
+		}
+		f.WriteTo(out)
+		if err := writeCSV(csvDir, "fig9", f); err != nil {
+			return err
+		}
+	case "crossover":
+		rows, err := experiments.CrossoverStudy(cfg, 16, points)
+		if err != nil {
+			return err
+		}
+		end := points[len(points)-1]
+		experiments.RenderCrossover(rows, end).WriteTo(out)
+	case "smp":
+		f, err := experiments.SMPStudy(cfg, 32, []int{1, 2, 4, 8})
+		if err != nil {
+			return err
+		}
+		f.WriteTo(out)
+	case "ablations":
+		a1, err := experiments.AblationActivation(cfg, 16)
+		if err != nil {
+			return err
+		}
+		a1.WriteTo(out)
+		a2, err := experiments.AblationInterPage(cfg, 16)
+		if err != nil {
+			return err
+		}
+		a2.WriteTo(out)
+		a3, err := experiments.AblationBind(cfg, 16)
+		if err != nil {
+			return err
+		}
+		a3.WriteTo(out)
+		a4, err := experiments.AblationPageSize(4 * 1024 * 1024)
+		if err != nil {
+			return err
+		}
+		a4.WriteTo(out)
+		a5, err := experiments.AblationMMXWidth(cfg, 16)
+		if err != nil {
+			return err
+		}
+		a5.WriteTo(out)
+		experiments.SwapCost(radram.DefaultConfig()).WriteTo(out)
+		experiments.PagingStudy(8, 3500).WriteTo(out)
+	case "all":
+		for _, e := range []string{"table1", "table2", "table3", "fig3", "fig4",
+			"table4", "crossover", "fig5", "fig8", "fig9", "smp", "ablations"} {
+			fmt.Fprintf(out, "\n##### %s #####\n", e)
+			if err := run(e, cfg, points, regions, l2, csvDir); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+// Command aprun executes an assembled MSS binary (or assembles and runs a
+// .s source directly) on the simulated in-order core with the Table 1
+// memory hierarchy, then prints program output and execution statistics.
+//
+// Usage:
+//
+//	aprun prog.bin
+//	aprun -maxinstr 1000000 prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"activepages/internal/asm"
+	"activepages/internal/cpu"
+	"activepages/internal/mem"
+	"activepages/internal/memsys"
+)
+
+func main() {
+	var (
+		maxInstr = flag.Uint64("maxinstr", 100_000_000, "instruction budget")
+		stats    = flag.Bool("stats", true, "print execution statistics")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: aprun [-maxinstr N] prog.bin|prog.s")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aprun:", err)
+		os.Exit(1)
+	}
+
+	var img *asm.Image
+	if strings.HasSuffix(flag.Arg(0), ".s") {
+		img, err = asm.Assemble(string(data))
+	} else {
+		img, err = asm.UnmarshalImage(data)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aprun:", err)
+		os.Exit(1)
+	}
+
+	store := mem.NewStore()
+	hier := memsys.New(memsys.DefaultConfig())
+	core := cpu.New(cpu.DefaultConfig(), hier, store)
+	core.Load(img)
+	n, err := core.Run(*maxInstr)
+	os.Stdout.Write(core.Output.Bytes())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aprun:", err)
+		os.Exit(1)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "\ninstructions  %d\n", n)
+		fmt.Fprintf(os.Stderr, "sim time      %v\n", core.Now())
+		fmt.Fprintf(os.Stderr, "IPC           %.3f\n", core.IPC())
+		fmt.Fprintf(os.Stderr, "loads/stores  %d/%d\n", core.Stats.Loads, core.Stats.Stores)
+		fmt.Fprintf(os.Stderr, "L1D miss rate %.2f%%\n", 100*hier.L1D.Stats.MissRate())
+		fmt.Fprintf(os.Stderr, "compute/mem   %v / %v\n", core.Stats.ComputeTime, core.Stats.MemTime)
+	}
+}

@@ -1,0 +1,101 @@
+// Mpegpipeline: the full MPEG partitioning the paper lays out for future
+// work (Section 5.2) — "the processor will be responsible for the Discrete
+// Cosine Transform (DCT), while the RADram system will handle motion
+// detection, application of motion correction matrices, run length
+// encoding and decoding (RLE), and Huffman encoding and decoding."
+//
+// Every memory-side stage below runs in Active Pages and is verified
+// against a host reference; the processor builds the Huffman table (the
+// small, irregular computation) and dispatches everything else.
+//
+// Run: go run ./examples/mpegpipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"activepages/internal/apps/mpeg"
+	"activepages/internal/radram"
+	"activepages/internal/workload"
+)
+
+func main() {
+	cfg := radram.DefaultConfig().WithPageBytes(64 * 1024)
+
+	// Stage 1: motion detection. Pages sweep the +/-4 pixel search window
+	// for every 8x8 block in parallel.
+	m1 := radram.MustNew(cfg)
+	ref, cur := mpeg.MotionFrame(42, 128)
+	vectors, err := mpeg.RunMotion(m1, ref, cur, 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hist := map[[2]int8]int{}
+	for _, v := range vectors {
+		hist[[2]int8{v.DX, v.DY}]++
+	}
+	best, n := [2]int8{}, 0
+	for k, c := range hist {
+		if c > n {
+			best, n = k, c
+		}
+	}
+	fmt.Printf("motion detection:   %d blocks, dominant vector (%d,%d) on %d blocks, %v\n",
+		len(vectors), best[0], best[1], n, m1.Elapsed())
+
+	// Stage 2: motion-correction application (wide MMX saturating adds).
+	m2 := radram.MustNew(cfg)
+	if err := (mpeg.Benchmark{}).Run(m2, 8); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("correction (MMX):   8 pages of P/B-frame corrections, %v\n", m2.Elapsed())
+
+	// Stage 3: run-length encoding of the (mostly zero) quantized data.
+	m3 := radram.MustNew(cfg)
+	frame := workload.NewMPEGFrame(42, 600)
+	quantized := make([]int16, len(frame.Reference))
+	for i, v := range frame.Reference {
+		quantized[i] = v / 64 // heavy quantization: long zero runs
+	}
+	enc, err := mpeg.RunRLE(m3, &workload.MPEGFrame{
+		Blocks: frame.Blocks, Reference: quantized, Correction: frame.Correction,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs := 0
+	for _, e := range enc {
+		pairs += len(e.Runs)
+	}
+	fmt.Printf("RLE in memory:      %d samples -> %d run pairs (%.1fx), %v\n",
+		len(quantized), pairs, float64(len(quantized))/float64(pairs), m3.Elapsed())
+
+	// Stage 4: Huffman. The processor builds the canonical table; pages
+	// bit-pack in parallel.
+	m4 := radram.MustNew(cfg)
+	bytesIn := make([]byte, len(quantized))
+	for i, v := range quantized {
+		bytesIn[i] = byte(v)
+	}
+	table, results, err := mpeg.RunHuffman(m4, bytesIn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var bits uint64
+	for _, r := range results {
+		bits += r.Bits
+	}
+	// Verify the first page decodes.
+	back, err := mpeg.HuffmanDecodeHost(&table, results[0].Stream, results[0].Symbols)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range back {
+		if back[i] != bytesIn[i] {
+			log.Fatal("huffman decode mismatch")
+		}
+	}
+	fmt.Printf("Huffman in memory:  %d bytes -> %d bits (%.2f bits/symbol), %v\n",
+		len(bytesIn), bits, float64(bits)/float64(len(bytesIn)), m4.Elapsed())
+}

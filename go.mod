@@ -1,0 +1,3 @@
+module activepages
+
+go 1.22

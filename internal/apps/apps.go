@@ -1,0 +1,136 @@
+// Package apps defines the application-study interface shared by the six
+// workloads of the paper's evaluation (Table 2): each benchmark runs the
+// same algorithm against a conventional machine or a RADram machine, sized
+// to occupy a requested number of Active-Page superpages.
+//
+// Benchmarks verify their own answers: every run recomputes the kernel's
+// result from the simulated memory image and compares against a host-side
+// reference, so a timing model bug can never masquerade as a speedup.
+package apps
+
+import (
+	"fmt"
+
+	"activepages/internal/core"
+	"activepages/internal/radram"
+	"activepages/internal/sim"
+)
+
+// Partitioning classifies a benchmark per Section 5.
+type Partitioning int
+
+const (
+	// MemoryCentric applications run almost entirely in Active Pages.
+	MemoryCentric Partitioning = iota
+	// ProcessorCentric applications use Active Pages to feed the processor.
+	ProcessorCentric
+)
+
+// String names the partitioning class.
+func (p Partitioning) String() string {
+	if p == MemoryCentric {
+		return "memory-centric"
+	}
+	return "processor-centric"
+}
+
+// Benchmark is one application kernel.
+type Benchmark interface {
+	// Name is the kernel's identifier (matching the paper's figures, e.g.
+	// "database", "matrix-boeing").
+	Name() string
+	// Partitioning reports the kernel's class (Table 2).
+	Partitioning() Partitioning
+	// Description summarizes the processor/Active-Page split (Table 2).
+	Description() string
+	// Run executes the kernel on machine m — conventional when m.AP is
+	// nil, partitioned otherwise — sized to roughly `pages` superpages of
+	// data. It returns an error if the computed result fails verification.
+	Run(m *radram.Machine, pages float64) error
+}
+
+// Measurement is the outcome of running one benchmark on one machine pair.
+type Measurement struct {
+	Benchmark string
+	Pages     float64
+	ConvTime  sim.Time
+	RadTime   sim.Time
+	// NonOverlap is the fraction of RADram processor time stalled on
+	// Active-Page computation (Figure 4's metric).
+	NonOverlap float64
+	// ActivationTime and PostTime are mean per-page T_A and T_P; BusyTime
+	// is mean per-page T_C (Table 4's metrics).
+	ActivationTime sim.Duration
+	PostTime       sim.Duration
+	BusyTime       sim.Duration
+}
+
+// Speedup is conventional time over RADram time (Figures 3, 8, 9).
+func (m Measurement) Speedup() float64 {
+	if m.RadTime == 0 {
+		return 0
+	}
+	return float64(m.ConvTime) / float64(m.RadTime)
+}
+
+// Measure runs b at the given problem size on both machines built from cfg
+// and collects the paper's metrics.
+func Measure(b Benchmark, cfg radram.Config, pages float64) (Measurement, error) {
+	conv := radram.NewConventional(cfg)
+	if err := b.Run(conv, pages); err != nil {
+		return Measurement{}, fmt.Errorf("%s (conventional, %g pages): %w", b.Name(), pages, err)
+	}
+	rad, err := radram.New(cfg)
+	if err != nil {
+		return Measurement{}, err
+	}
+	if err := b.Run(rad, pages); err != nil {
+		return Measurement{}, fmt.Errorf("%s (radram, %g pages): %w", b.Name(), pages, err)
+	}
+
+	meas := Measurement{
+		Benchmark:  b.Name(),
+		Pages:      pages,
+		ConvTime:   conv.Elapsed(),
+		RadTime:    rad.Elapsed(),
+		NonOverlap: rad.CPU.Stats.NonOverlapFraction(),
+	}
+
+	// Per-page Table 4 metrics from the Active-Page system's ledger.
+	var nPages uint64
+	var actTotal, busyTotal sim.Duration
+	for _, id := range KnownGroups {
+		g, ok := rad.AP.Group(core.GroupID(id))
+		if !ok {
+			continue
+		}
+		for _, p := range g.Pages() {
+			if p.Activations == 0 {
+				continue
+			}
+			nPages++
+			actTotal += p.ActivationTime
+			busyTotal += p.BusyTime
+		}
+	}
+	if nPages > 0 {
+		meas.ActivationTime = actTotal / sim.Duration(nPages)
+		meas.BusyTime = busyTotal / sim.Duration(nPages)
+		// T_P: per-page processor time that is neither dispatch nor a
+		// stall on page computation — post-activated work in the model of
+		// Section 7.4 (result summarization, operand multiplies, cross-
+		// page moves).
+		st := rad.CPU.Stats
+		post := st.TotalTime() - st.NonOverlapTime
+		if post > actTotal {
+			meas.PostTime = (post - actTotal) / sim.Duration(nPages)
+		}
+	}
+	return meas, nil
+}
+
+// KnownGroups lists every group id a benchmark may allocate, so Measure
+// can walk per-page statistics without coupling to app internals.
+var KnownGroups = []string{
+	"array", "database", "median", "lcs", "matrix", "mpeg",
+}

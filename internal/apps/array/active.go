@@ -1,0 +1,296 @@
+package array
+
+import (
+	"fmt"
+
+	"activepages/internal/apps/layout"
+	"activepages/internal/circuits"
+	"activepages/internal/core"
+	"activepages/internal/logic"
+	"activepages/internal/radram"
+)
+
+// Active is the Active-Page backend: elements are distributed across pages
+// left-packed, page i holding elements [i*E, (i+1)*E).
+type Active struct {
+	m *radram.Machine
+	// E is elements per page.
+	E     int
+	n     int
+	pages []*core.Page
+	// bound tracks the currently bound function so the backend re-binds
+	// only when the operation class changes (insert/delete/find each burn
+	// most of the 256-LE budget).
+	bound string
+}
+
+// NewActive builds the distributed array with initial contents i*3 (setup,
+// not timed). It pre-allocates enough pages for the benchmark's inserts.
+func NewActive(m *radram.Machine, n int) (*Active, error) {
+	a := &Active{m: m, E: int(layout.UsableBytes(m) / 4), n: n}
+	nPages := (n+opCount)/a.E + 1
+	pages, err := m.AP.AllocRange("array", layout.DataBase, uint64(nPages))
+	if err != nil {
+		return nil, err
+	}
+	a.pages = pages
+	for i := 0; i < n; i++ {
+		m.Store.WriteU32(a.addr(i), uint32(i)*3)
+	}
+	return a, nil
+}
+
+// addr returns the absolute address of element pos.
+func (a *Active) addr(pos int) uint64 {
+	page := pos / a.E
+	slot := pos % a.E
+	return a.pages[page].Base + layout.HeaderBytes + uint64(slot)*4
+}
+
+// used returns how many elements page k holds.
+func (a *Active) used(k int) int {
+	u := a.n - k*a.E
+	if u < 0 {
+		return 0
+	}
+	return min(u, a.E)
+}
+
+// rebind switches the bound function class, modeling AP_bind re-binding:
+// the full insert+delete+find set does not fit one page's LE budget.
+func (a *Active) rebind(name string) error {
+	if a.bound == name {
+		return nil
+	}
+	var fn core.Function
+	switch name {
+	case "arr-insert":
+		fn = insertFn{}
+	case "arr-delete":
+		fn = deleteFn{}
+	case "arr-find":
+		fn = findFn{}
+	case "arr-accumulate":
+		fn = accumulateFn{}
+	case "arr-scan":
+		fn = scanFn{}
+	case "arr-adjdiff":
+		fn = adjDiffFn{}
+	default:
+		return fmt.Errorf("array: unknown function %s", name)
+	}
+	if err := a.m.AP.Bind("array", fn); err != nil {
+		return err
+	}
+	a.bound = name
+	return nil
+}
+
+// Len implements Array.
+func (a *Active) Len() int { return a.n }
+
+// Get implements Array.
+func (a *Active) Get(pos int) uint32 {
+	return a.m.CPU.LoadU32(a.addr(pos))
+}
+
+// Insert implements Array: affected pages shift in parallel, then the
+// processor performs the cross-page boundary moves.
+func (a *Active) Insert(pos int, v uint32) error {
+	if err := a.rebind("arr-insert"); err != nil {
+		return err
+	}
+	cpu := a.m.CPU
+	P := pos / a.E
+	j := pos % a.E
+	last := a.n / a.E // page receiving the new final element
+
+	// Parallel in-page shifts.
+	for k := P; k <= last; k++ {
+		u := a.used(k)
+		if u == 0 {
+			continue
+		}
+		start := 0
+		if k == P {
+			start = j
+		}
+		if start >= u {
+			continue
+		}
+		if err := a.m.AP.Activate(a.pages[k], "arr-insert",
+			uint64(start), uint64(u), boolArg(u == a.E)); err != nil {
+			return err
+		}
+	}
+	for k := P; k <= last; k++ {
+		a.m.AP.Wait(a.pages[k])
+	}
+
+	// Cross-page moves: slot 0 of page k receives the element page k-1
+	// evicted (processor computation per Table 2).
+	for k := last; k > P; k-- {
+		b := cpu.UncachedLoadU32(a.pages[k-1].Base + slotBoundaryOut)
+		cpu.UncachedStoreU32(a.pages[k].Base+layout.HeaderBytes, b)
+		cpu.Compute(6)
+	}
+	cpu.UncachedStoreU32(a.addr(pos), v)
+	cpu.Compute(4)
+	a.n++
+	return nil
+}
+
+// Delete implements Array. Arrays no larger than one page adaptively use
+// the processor (the SimpleScalar ISA favors the conventional delete in
+// the sub-page region — Section 7.1).
+func (a *Active) Delete(pos int) error {
+	cpu := a.m.CPU
+	if a.n <= a.E {
+		// Adaptive sub-page path: processor memmove within page 0.
+		const chunkElems = 256
+		buf := make([]byte, chunkElems*4)
+		for done := pos; done < a.n-1; {
+			c := min(a.n-1-done, chunkElems)
+			cpu.ReadBlock(a.addr(done+1), buf[:c*4])
+			cpu.WriteBlock(a.addr(done), buf[:c*4])
+			cpu.Compute(uint64(c/8 + 4))
+			done += c
+		}
+		a.n--
+		return nil
+	}
+	if err := a.rebind("arr-delete"); err != nil {
+		return err
+	}
+	P := pos / a.E
+	j := pos % a.E
+	last := (a.n - 1) / a.E
+
+	for k := P; k <= last; k++ {
+		u := a.used(k)
+		if u == 0 {
+			continue
+		}
+		start := 0
+		if k == P {
+			start = j
+		}
+		if err := a.m.AP.Activate(a.pages[k], "arr-delete",
+			uint64(start), uint64(u), boolArg(k > P)); err != nil {
+			return err
+		}
+	}
+	for k := P; k <= last; k++ {
+		a.m.AP.Wait(a.pages[k])
+	}
+
+	// Cross-page moves: the last slot of page k receives the element page
+	// k+1 saved before shifting left.
+	for k := P; k < last; k++ {
+		b := cpu.UncachedLoadU32(a.pages[k+1].Base + slotBoundaryOut)
+		cpu.UncachedStoreU32(a.pages[k].Base+layout.HeaderBytes+uint64(a.E-1)*4, b)
+		cpu.Compute(6)
+	}
+	cpu.Compute(4)
+	a.n--
+	return nil
+}
+
+// Count implements Array: every page counts its matches in parallel; the
+// processor sums.
+func (a *Active) Count(v uint32) (int, error) {
+	if err := a.rebind("arr-find"); err != nil {
+		return 0, err
+	}
+	cpu := a.m.CPU
+	last := (a.n - 1) / a.E
+	for k := 0; k <= last; k++ {
+		if a.used(k) == 0 {
+			continue
+		}
+		if err := a.m.AP.Activate(a.pages[k], "arr-find",
+			uint64(a.used(k)), uint64(v)); err != nil {
+			return 0, err
+		}
+	}
+	count := 0
+	for k := 0; k <= last; k++ {
+		if a.used(k) == 0 {
+			continue
+		}
+		a.m.AP.Wait(a.pages[k])
+		count += int(cpu.UncachedLoadU32(a.pages[k].Base + slotCount))
+		cpu.Compute(2)
+	}
+	return count, nil
+}
+
+func boolArg(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Page circuits.
+
+// insertFn shifts elements [start, used) right by one; when evict is set
+// the last element is saved to the boundary slot first.
+type insertFn struct{}
+
+func (insertFn) Name() string          { return "arr-insert" }
+func (insertFn) Design() *logic.Design { return circuits.ArrayInsert() }
+
+func (insertFn) Run(ctx *core.PageContext) (core.Result, error) {
+	start, used, evict := ctx.Args[0], ctx.Args[1], ctx.Args[2] != 0
+	base := uint64(layout.HeaderBytes)
+	count := used - start
+	if evict {
+		ctx.WriteU32(slotBoundaryOut, ctx.ReadU32(base+(used-1)*4))
+		count--
+	}
+	if count > 0 {
+		ctx.Move(base+(start+1)*4, base+start*4, count*4)
+	}
+	// One element streams through the shifter per logic cycle.
+	return ctx.Finish(used - start + 4)
+}
+
+// deleteFn shifts elements left by one; when saveFirst is set (pages after
+// the deletion point) element 0 is saved to the boundary slot first.
+type deleteFn struct{}
+
+func (deleteFn) Name() string          { return "arr-delete" }
+func (deleteFn) Design() *logic.Design { return circuits.ArrayDelete() }
+
+func (deleteFn) Run(ctx *core.PageContext) (core.Result, error) {
+	start, used, saveFirst := ctx.Args[0], ctx.Args[1], ctx.Args[2] != 0
+	base := uint64(layout.HeaderBytes)
+	if saveFirst {
+		ctx.WriteU32(slotBoundaryOut, ctx.ReadU32(base+start*4))
+	}
+	if used > start+1 {
+		ctx.Move(base+start*4, base+(start+1)*4, (used-start-1)*4)
+	}
+	return ctx.Finish(used - start + 4)
+}
+
+// findFn counts elements equal to the key.
+type findFn struct{}
+
+func (findFn) Name() string          { return "arr-find" }
+func (findFn) Design() *logic.Design { return circuits.ArrayFind() }
+
+func (findFn) Run(ctx *core.PageContext) (core.Result, error) {
+	used, key := ctx.Args[0], uint32(ctx.Args[1])
+	base := uint64(layout.HeaderBytes)
+	var count uint32
+	for i := uint64(0); i < used; i++ {
+		if ctx.ReadU32(base+i*4) == key {
+			count++
+		}
+	}
+	ctx.WriteU32(slotCount, count)
+	return ctx.Finish(used + 4)
+}

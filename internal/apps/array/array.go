@@ -1,0 +1,243 @@
+// Package array implements the STL array-template study (Section 5.1): a
+// dense array of 32-bit integers supporting insert, delete, and
+// find/count, with the data layout and operation partitioning hidden
+// behind one interface — the paper's C++ library design, where a single
+// source works against either memory system.
+//
+// Conventional backend: a flat array; insert and delete memmove the tail,
+// count scans.
+//
+// Active-Page backend: the array is distributed across pages. Insert and
+// delete activate every affected page to shift its portion in parallel;
+// the processor performs the cross-page boundary moves (Table 2:
+// "Cross-page moves"). Count activates the binary-comparison circuit on
+// every page and sums per-page counts. Deletes on arrays smaller than one
+// page adaptively run on the processor, the paper's one case where the
+// conventional code wins.
+package array
+
+import (
+	"fmt"
+
+	"activepages/internal/apps"
+	"activepages/internal/apps/layout"
+	"activepages/internal/radram"
+)
+
+const (
+	// Header slots (byte offsets in each page's header).
+	slotBoundaryOut = 16 // element pushed out of this page by a shift
+	slotCount       = 24 // find/count result
+
+	seed = 7
+)
+
+// Benchmark is the array kernel: a fixed operation mix over an array sized
+// to the requested pages.
+type Benchmark struct{}
+
+// Name implements apps.Benchmark.
+func (Benchmark) Name() string { return "array" }
+
+// Partitioning implements apps.Benchmark.
+func (Benchmark) Partitioning() apps.Partitioning { return apps.MemoryCentric }
+
+// Description implements apps.Benchmark.
+func (Benchmark) Description() string {
+	return "processor runs C++ array code and cross-page moves; pages insert, delete, and find"
+}
+
+// Array is the common interface of both backends, mirroring the paper's
+// template class.
+type Array interface {
+	Len() int
+	Insert(pos int, v uint32) error
+	Delete(pos int) error
+	Count(v uint32) (int, error)
+	// Get reads one element (verification; charged like application reads).
+	Get(pos int) uint32
+}
+
+// Run implements apps.Benchmark: build the array, run the op mix, verify
+// against a host-side reference slice.
+func (Benchmark) Run(m *radram.Machine, pages float64) error {
+	perPage := int(layout.UsableBytes(m) / 4)
+	n := int(pages * float64(perPage))
+	if n < 8 {
+		n = 8
+	}
+	// Leave headroom for inserts in the last page.
+	n -= opCount + 1
+
+	var arr Array
+	var err error
+	if m.AP == nil {
+		arr, err = NewConventional(m, n)
+	} else {
+		arr, err = NewActive(m, n)
+	}
+	if err != nil {
+		return err
+	}
+
+	ref := make([]uint32, n)
+	for i := range ref {
+		ref[i] = uint32(i) * 3
+	}
+	if err := runOps(arr, &ref); err != nil {
+		return err
+	}
+
+	// Verify a sample of positions plus the regions around every edit.
+	for _, pos := range samplePositions(len(ref)) {
+		if got := arr.Get(pos); got != ref[pos] {
+			return fmt.Errorf("array: element %d = %d, want %d", pos, got, ref[pos])
+		}
+	}
+	if arr.Len() != len(ref) {
+		return fmt.Errorf("array: length %d, want %d", arr.Len(), len(ref))
+	}
+	return nil
+}
+
+// opCount is the number of inserts (and deletes) in the benchmark mix.
+const opCount = 4
+
+// runOps performs the paper-style operation mix, updating the reference.
+func runOps(arr Array, ref *[]uint32) error {
+	n := len(*ref)
+	// Deterministic positions spread over the array.
+	for k := 0; k < opCount; k++ {
+		pos := (n / (k + 2)) % max(arr.Len(), 1)
+		v := uint32(900000 + k)
+		if err := arr.Insert(pos, v); err != nil {
+			return err
+		}
+		*ref = append(*ref, 0)
+		copy((*ref)[pos+1:], (*ref)[pos:])
+		(*ref)[pos] = v
+	}
+	for k := 0; k < opCount; k++ {
+		pos := (n / (k + 3)) % arr.Len()
+		if err := arr.Delete(pos); err != nil {
+			return err
+		}
+		copy((*ref)[pos:], (*ref)[pos+1:])
+		*ref = (*ref)[:len(*ref)-1]
+	}
+	for k := 0; k < opCount; k++ {
+		key := uint32(3 * ((n / (k + 2)) % max(n, 1)))
+		got, err := arr.Count(key)
+		if err != nil {
+			return err
+		}
+		want := 0
+		for _, v := range *ref {
+			if v == key {
+				want++
+			}
+		}
+		if got != want {
+			return fmt.Errorf("array: count(%d) = %d, want %d", key, got, want)
+		}
+	}
+	return nil
+}
+
+func samplePositions(n int) []int {
+	ps := []int{0, n - 1, n / 2, n / 3, n / 5, n / 7}
+	out := ps[:0]
+	for _, p := range ps {
+		if p >= 0 && p < n {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Conventional backend.
+
+// Conventional is the flat-array backend.
+type Conventional struct {
+	m    *radram.Machine
+	base uint64
+	n    int
+}
+
+// NewConventional builds the array with initial contents i*3 (setup, not
+// timed).
+func NewConventional(m *radram.Machine, n int) (*Conventional, error) {
+	a := &Conventional{m: m, base: layout.DataBase, n: n}
+	for i := 0; i < n; i++ {
+		m.Store.WriteU32(a.base+uint64(i)*4, uint32(i)*3)
+	}
+	return a, nil
+}
+
+// Len implements Array.
+func (a *Conventional) Len() int { return a.n }
+
+// Get implements Array.
+func (a *Conventional) Get(pos int) uint32 {
+	return a.m.CPU.LoadU32(a.base + uint64(pos)*4)
+}
+
+// memmove charges and performs an optimized tail move of count elements
+// from src to dst element indices.
+func (a *Conventional) memmove(dst, src, count int) {
+	if count <= 0 {
+		return
+	}
+	cpu := a.m.CPU
+	const chunkElems = 256
+	buf := make([]byte, chunkElems*4)
+	if dst > src {
+		// Move backward (from the top) so the tail is not clobbered.
+		for remaining := count; remaining > 0; {
+			c := min(remaining, chunkElems)
+			remaining -= c
+			cpu.ReadBlock(a.base+uint64(src+remaining)*4, buf[:c*4])
+			cpu.WriteBlock(a.base+uint64(dst+remaining)*4, buf[:c*4])
+			cpu.Compute(uint64(c/8 + 4)) // unrolled loop overhead
+		}
+		return
+	}
+	for done := 0; done < count; {
+		c := min(count-done, chunkElems)
+		cpu.ReadBlock(a.base+uint64(src+done)*4, buf[:c*4])
+		cpu.WriteBlock(a.base+uint64(dst+done)*4, buf[:c*4])
+		cpu.Compute(uint64(c/8 + 4))
+		done += c
+	}
+}
+
+// Insert implements Array.
+func (a *Conventional) Insert(pos int, v uint32) error {
+	a.memmove(pos+1, pos, a.n-pos)
+	a.m.CPU.StoreU32(a.base+uint64(pos)*4, v)
+	a.m.CPU.Compute(6)
+	a.n++
+	return nil
+}
+
+// Delete implements Array.
+func (a *Conventional) Delete(pos int) error {
+	a.memmove(pos, pos+1, a.n-pos-1)
+	a.m.CPU.Compute(6)
+	a.n--
+	return nil
+}
+
+// Count implements Array.
+func (a *Conventional) Count(v uint32) (int, error) {
+	cpu := a.m.CPU
+	count := 0
+	for i := 0; i < a.n; i++ {
+		if cpu.LoadU32(a.base+uint64(i)*4) == v {
+			count++
+		}
+		cpu.Compute(3) // compare, conditional increment, loop
+	}
+	return count, nil
+}

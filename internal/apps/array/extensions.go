@@ -1,0 +1,228 @@
+package array
+
+import (
+	"activepages/internal/apps/layout"
+	"activepages/internal/circuits"
+	"activepages/internal/core"
+	"activepages/internal/logic"
+)
+
+// This file implements the further STL operations Section 5.1 names as
+// "indicative of a broad range of array operations which the RADram system
+// can effectively compute": accumulate, partial_sum, and
+// adjacent_difference. Each follows the same partitioning as the core
+// primitives — pages process their element ranges in parallel, and the
+// processor combines the small per-page summaries (for partial_sum, the
+// classic two-phase scan: local prefix sums in pages, then the processor
+// adds page-base offsets back in).
+
+// Header slots for the extensions.
+const (
+	slotSum = 32 // per-page accumulate result (u64: low, high words)
+)
+
+// Accumulate returns the sum of all elements (mod 2^64).
+func (a *Conventional) Accumulate() (uint64, error) {
+	cpu := a.m.CPU
+	var sum uint64
+	for i := 0; i < a.n; i++ {
+		sum += uint64(cpu.LoadU32(a.base + uint64(i)*4))
+		cpu.Compute(3)
+	}
+	return sum, nil
+}
+
+// PartialSum replaces each element with the inclusive prefix sum (mod
+// 2^32).
+func (a *Conventional) PartialSum() error {
+	cpu := a.m.CPU
+	var run uint32
+	for i := 0; i < a.n; i++ {
+		run += cpu.LoadU32(a.base + uint64(i)*4)
+		cpu.StoreU32(a.base+uint64(i)*4, run)
+		cpu.Compute(3)
+	}
+	return nil
+}
+
+// AdjacentDifference replaces each element (except the first) with its
+// difference from the predecessor.
+func (a *Conventional) AdjacentDifference() error {
+	cpu := a.m.CPU
+	prev := cpu.LoadU32(a.base)
+	for i := 1; i < a.n; i++ {
+		v := cpu.LoadU32(a.base + uint64(i)*4)
+		cpu.StoreU32(a.base+uint64(i)*4, v-prev)
+		cpu.Compute(3)
+		prev = v
+	}
+	return nil
+}
+
+// Accumulate sums all elements using per-page reduction circuits.
+func (a *Active) Accumulate() (uint64, error) {
+	if err := a.rebind("arr-accumulate"); err != nil {
+		return 0, err
+	}
+	cpu := a.m.CPU
+	last := (a.n - 1) / a.E
+	for k := 0; k <= last; k++ {
+		if a.used(k) == 0 {
+			continue
+		}
+		if err := a.m.AP.Activate(a.pages[k], "arr-accumulate", uint64(a.used(k))); err != nil {
+			return 0, err
+		}
+	}
+	var sum uint64
+	for k := 0; k <= last; k++ {
+		if a.used(k) == 0 {
+			continue
+		}
+		a.m.AP.Wait(a.pages[k])
+		lo := cpu.UncachedLoadU32(a.pages[k].Base + slotSum)
+		hi := cpu.UncachedLoadU32(a.pages[k].Base + slotSum + 4)
+		sum += uint64(hi)<<32 | uint64(lo)
+		cpu.Compute(3)
+	}
+	return sum, nil
+}
+
+// PartialSum computes the inclusive prefix sum with the two-phase scan:
+// pages compute local prefix sums and their totals in parallel; the
+// processor then feeds each page the sum of all preceding pages and pages
+// add the offset in a second parallel pass.
+func (a *Active) PartialSum() error {
+	if err := a.rebind("arr-scan"); err != nil {
+		return err
+	}
+	cpu := a.m.CPU
+	last := (a.n - 1) / a.E
+
+	// Phase 1: local scans.
+	for k := 0; k <= last; k++ {
+		if a.used(k) == 0 {
+			continue
+		}
+		if err := a.m.AP.Activate(a.pages[k], "arr-scan", uint64(a.used(k)), 0, 0); err != nil {
+			return err
+		}
+	}
+	// Phase 2: processor accumulates page totals and dispatches offsets.
+	var carry uint32
+	for k := 0; k <= last; k++ {
+		if a.used(k) == 0 {
+			continue
+		}
+		a.m.AP.Wait(a.pages[k])
+		total := cpu.UncachedLoadU32(a.pages[k].Base + slotSum)
+		if carry != 0 {
+			if err := a.m.AP.Activate(a.pages[k], "arr-scan",
+				uint64(a.used(k)), 1, uint64(carry)); err != nil {
+				return err
+			}
+			a.m.AP.Wait(a.pages[k])
+		}
+		carry += total
+		cpu.Compute(4)
+	}
+	return nil
+}
+
+// AdjacentDifference runs fully in parallel: each page differences its
+// elements, seeded by the last element of the previous page (a cross-page
+// value the processor supplies, like the insert/delete boundary moves).
+func (a *Active) AdjacentDifference() error {
+	if err := a.rebind("arr-adjdiff"); err != nil {
+		return err
+	}
+	cpu := a.m.CPU
+	last := (a.n - 1) / a.E
+	// The processor reads each page's last element first (pre-pass), then
+	// all pages difference in parallel.
+	seeds := make([]uint32, last+1)
+	for k := 1; k <= last; k++ {
+		seeds[k] = cpu.UncachedLoadU32(a.pages[k-1].Base + layout.HeaderBytes + uint64(a.E-1)*4)
+		cpu.Compute(2)
+	}
+	for k := 0; k <= last; k++ {
+		if a.used(k) == 0 {
+			continue
+		}
+		if err := a.m.AP.Activate(a.pages[k], "arr-adjdiff",
+			uint64(a.used(k)), uint64(seeds[k]), boolArg(k == 0)); err != nil {
+			return err
+		}
+	}
+	for k := 0; k <= last; k++ {
+		a.m.AP.Wait(a.pages[k])
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Extension circuits. They reuse the find/insert datapath shapes: a scan
+// datapath with an accumulator fits comfortably in the page budget.
+
+type accumulateFn struct{}
+
+func (accumulateFn) Name() string          { return "arr-accumulate" }
+func (accumulateFn) Design() *logic.Design { return circuits.ArrayFind() }
+
+func (accumulateFn) Run(ctx *core.PageContext) (core.Result, error) {
+	used := ctx.Args[0]
+	base := uint64(layout.HeaderBytes)
+	var sum uint64
+	for i := uint64(0); i < used; i++ {
+		sum += uint64(ctx.ReadU32(base + i*4))
+	}
+	ctx.WriteU32(slotSum, uint32(sum))
+	ctx.WriteU32(slotSum+4, uint32(sum>>32))
+	return ctx.Finish(used + 4)
+}
+
+type scanFn struct{}
+
+func (scanFn) Name() string          { return "arr-scan" }
+func (scanFn) Design() *logic.Design { return circuits.ArrayInsert() }
+
+func (scanFn) Run(ctx *core.PageContext) (core.Result, error) {
+	used, phase, offset := ctx.Args[0], ctx.Args[1], uint32(ctx.Args[2])
+	base := uint64(layout.HeaderBytes)
+	if phase == 1 {
+		// Offset pass: add the preceding pages' total to every element.
+		for i := uint64(0); i < used; i++ {
+			ctx.WriteU32(base+i*4, ctx.ReadU32(base+i*4)+offset)
+		}
+		return ctx.Finish(used + 4)
+	}
+	var run uint32
+	for i := uint64(0); i < used; i++ {
+		run += ctx.ReadU32(base + i*4)
+		ctx.WriteU32(base+i*4, run)
+	}
+	ctx.WriteU32(slotSum, run)
+	return ctx.Finish(used + 4)
+}
+
+type adjDiffFn struct{}
+
+func (adjDiffFn) Name() string          { return "arr-adjdiff" }
+func (adjDiffFn) Design() *logic.Design { return circuits.ArrayDelete() }
+
+func (adjDiffFn) Run(ctx *core.PageContext) (core.Result, error) {
+	used, seed, isFirst := ctx.Args[0], uint32(ctx.Args[1]), ctx.Args[2] != 0
+	base := uint64(layout.HeaderBytes)
+	prev := seed
+	start := uint64(0)
+	if isFirst {
+		prev = ctx.ReadU32(base)
+		start = 1
+	}
+	for i := start; i < used; i++ {
+		v := ctx.ReadU32(base + i*4)
+		ctx.WriteU32(base+i*4, v-prev)
+		prev = v
+	}
+	return ctx.Finish(used + 4)
+}

@@ -1,0 +1,230 @@
+// Package database implements the unindexed address-database query study
+// (Section 5.1): count the records whose last-name field exactly matches a
+// query string.
+//
+// Conventional partition: the processor scans every record, comparing the
+// field word by word with early exit — an O(records) walk whose cost is
+// dominated by cache misses on the 128-byte record stride.
+//
+// Active-Page partition: records are blocked across pages; every page is
+// programmed with the search circuit and scans its records in parallel.
+// The processor initiates the query and sums the per-page match counts
+// (Table 2: "Initiates queries / Summarizes results").
+package database
+
+import (
+	"fmt"
+
+	"activepages/internal/apps"
+	"activepages/internal/apps/layout"
+	"activepages/internal/circuits"
+	"activepages/internal/core"
+	"activepages/internal/logic"
+	"activepages/internal/radram"
+	"activepages/internal/workload"
+)
+
+const (
+	seed = 1998
+	// countOffset is where the search circuit deposits its match count in
+	// the page header.
+	countOffset = 16
+	// Per-record circuit timing: the FSM spends walkCycles stepping to the
+	// next record and compares the queried field four bytes per cycle with
+	// early exit on mismatch.
+	walkCycles = 2
+)
+
+// Benchmark is the database query kernel.
+type Benchmark struct{}
+
+// Name implements apps.Benchmark.
+func (Benchmark) Name() string { return "database" }
+
+// Partitioning implements apps.Benchmark.
+func (Benchmark) Partitioning() apps.Partitioning { return apps.MemoryCentric }
+
+// Description implements apps.Benchmark.
+func (Benchmark) Description() string {
+	return "processor initiates queries and summarizes results; pages search unindexed data"
+}
+
+// recordsFor sizes the record count to occupy the requested pages.
+func recordsFor(m *radram.Machine, pages float64) int {
+	perPage := layout.UsableBytes(m) / workload.RecordBytes
+	n := int(pages * float64(perPage))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Run implements apps.Benchmark.
+func (Benchmark) Run(m *radram.Machine, pages float64) error {
+	n := recordsFor(m, pages)
+	book := workload.AddressBook(seed, n)
+	query := workload.QueryName()
+	want := workload.CountLastName(book, query)
+
+	var got int
+	if m.AP == nil {
+		got = runConventional(m, book, n, query)
+	} else {
+		g, err := runRADram(m, book, n, query)
+		if err != nil {
+			return err
+		}
+		got = g
+	}
+	if got != want {
+		return fmt.Errorf("database: counted %d matches, want %d", got, want)
+	}
+	return nil
+}
+
+// runConventional scans the records on the processor.
+func runConventional(m *radram.Machine, book []byte, n int, query string) int {
+	base := uint64(layout.DataBase)
+	m.Store.Write(base, book) // load the database image (setup, not timed)
+
+	qw := layout.PackQueryWords(query, workload.LastNameBytes)
+	cpu := m.CPU
+	count := 0
+	for r := 0; r < n; r++ {
+		rec := base + uint64(r)*workload.RecordBytes
+		cpu.Compute(3) // loop: record pointer bump, bound check, branch
+		match := true
+		for w := 0; w < len(qw); w++ {
+			v := cpu.LoadU32(rec + uint64(workload.FieldLastName) + uint64(w)*4)
+			cpu.Compute(2) // compare + branch
+			if v != qw[w] {
+				match = false
+				break // early exit, like a hand-coded memcmp
+			}
+		}
+		if match {
+			count++
+			cpu.Compute(1)
+		}
+	}
+	return count
+}
+
+// searchFn is the Active-Page search circuit.
+type searchFn struct{}
+
+func (searchFn) Name() string          { return "db-search" }
+func (searchFn) Design() *logic.Design { return circuits.Database() }
+
+func (searchFn) Run(ctx *core.PageContext) (core.Result, error) {
+	nRecords := ctx.Args[0]
+	qw := []uint32{uint32(ctx.Args[1]), uint32(ctx.Args[1] >> 32),
+		uint32(ctx.Args[2]), uint32(ctx.Args[2] >> 32),
+		uint32(ctx.Args[3]), uint32(ctx.Args[3] >> 32)}
+	var count uint32
+	var cycles uint64
+	for r := uint64(0); r < nRecords; r++ {
+		off := layout.HeaderBytes + r*workload.RecordBytes + workload.FieldLastName
+		cycles += walkCycles
+		match := true
+		for w := range qw {
+			cycles++ // one 4-byte compare per cycle
+			if ctx.ReadU32(off+uint64(w)*4) != qw[w] {
+				match = false
+				break
+			}
+		}
+		if match {
+			count++
+		}
+	}
+	ctx.WriteU32(countOffset, count)
+	return ctx.Finish(cycles)
+}
+
+// runRADram distributes the records over Active Pages and runs the search
+// circuit on all of them.
+func runRADram(m *radram.Machine, book []byte, n int, query string) (int, error) {
+	perPage := int(layout.UsableBytes(m) / workload.RecordBytes)
+	nPages := (n + perPage - 1) / perPage
+
+	pagesList, err := m.AP.AllocRange("database", layout.DataBase, uint64(nPages))
+	if err != nil {
+		return 0, err
+	}
+	// Block the records into pages (setup, not timed).
+	for p := 0; p < nPages; p++ {
+		first := p * perPage
+		last := min(n, first+perPage)
+		m.Store.Write(pagesList[p].Base+layout.HeaderBytes,
+			book[first*workload.RecordBytes:last*workload.RecordBytes])
+	}
+	if err := m.AP.Bind("database", searchFn{}); err != nil {
+		return 0, err
+	}
+
+	// Dispatch the query to every page.
+	qw := layout.PackQueryWords(query, workload.LastNameBytes)
+	args := []uint64{0,
+		uint64(qw[0]) | uint64(qw[1])<<32,
+		uint64(qw[2]) | uint64(qw[3])<<32,
+		uint64(qw[4]) | uint64(qw[5])<<32,
+	}
+	cpu := m.CPU
+	for p := 0; p < nPages; p++ {
+		first := p * perPage
+		last := min(n, first+perPage)
+		args[0] = uint64(last - first)
+		if err := m.AP.Activate(pagesList[p], "db-search", args...); err != nil {
+			return 0, err
+		}
+	}
+
+	// Summarize: wait for each page and accumulate its count.
+	count := 0
+	for _, p := range pagesList {
+		m.AP.Wait(p)
+		count += int(cpu.UncachedLoadU32(p.Base + countOffset))
+		cpu.Compute(2) // add + loop
+	}
+	return count, nil
+}
+
+// QueryPages binds the search circuit to the pages' group and runs the
+// query over an explicit page list, returning the summed match count. It
+// is the dispatch/summarize half of the study, exported so multiprocessor
+// harnesses can drive disjoint page slices from separate processors
+// (Section 2's SMP coordination).
+func QueryPages(sys *core.System, pagesList []*core.Page, perPage, totalRecords int, query string) (int, error) {
+	if len(pagesList) == 0 {
+		return 0, nil
+	}
+	if err := sys.Bind(pagesList[0].Group(), searchFn{}); err != nil {
+		return 0, err
+	}
+	qw := layout.PackQueryWords(query, workload.LastNameBytes)
+	args := []uint64{0,
+		uint64(qw[0]) | uint64(qw[1])<<32,
+		uint64(qw[2]) | uint64(qw[3])<<32,
+		uint64(qw[4]) | uint64(qw[5])<<32,
+	}
+	cpu := sys.CPU()
+	for p, page := range pagesList {
+		first := p * perPage
+		last := min(totalRecords, first+perPage)
+		if last <= first {
+			break
+		}
+		args[0] = uint64(last - first)
+		if err := sys.Activate(page, "db-search", args...); err != nil {
+			return 0, err
+		}
+	}
+	count := 0
+	for _, page := range pagesList {
+		sys.Wait(page)
+		count += int(cpu.UncachedLoadU32(page.Base + countOffset))
+		cpu.Compute(2)
+	}
+	return count, nil
+}

@@ -1,0 +1,97 @@
+package database
+
+import (
+	"testing"
+
+	"activepages/internal/apps/layout"
+	"activepages/internal/radram"
+	"activepages/internal/workload"
+)
+
+func cfg() radram.Config {
+	return radram.DefaultConfig().WithPageBytes(64 * 1024)
+}
+
+func TestBothImplementationsAgreeWithReference(t *testing.T) {
+	for _, pages := range []float64{0.1, 1, 2.5} {
+		conv := radram.NewConventional(cfg())
+		if err := (Benchmark{}).Run(conv, pages); err != nil {
+			t.Fatalf("conventional at %g pages: %v", pages, err)
+		}
+		rad := radram.MustNew(cfg())
+		if err := (Benchmark{}).Run(rad, pages); err != nil {
+			t.Fatalf("radram at %g pages: %v", pages, err)
+		}
+	}
+}
+
+func TestRecordsForSizing(t *testing.T) {
+	m := radram.MustNew(cfg())
+	perPage := int(layout.UsableBytes(m) / workload.RecordBytes)
+	if got := recordsFor(m, 2); got != 2*perPage {
+		t.Fatalf("recordsFor(2 pages) = %d, want %d", got, 2*perPage)
+	}
+	if recordsFor(m, 0.0001) < 1 {
+		t.Fatal("tiny problem must have at least one record")
+	}
+}
+
+func TestConventionalCountDirect(t *testing.T) {
+	m := radram.NewConventional(cfg())
+	book := workload.AddressBook(5, 500)
+	want := workload.CountLastName(book, workload.QueryName())
+	got := runConventional(m, book, 500, workload.QueryName())
+	if got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	if m.CPU.Stats.Loads == 0 {
+		t.Fatal("conventional scan issued no loads")
+	}
+}
+
+func TestRADramCountDirect(t *testing.T) {
+	m := radram.MustNew(cfg())
+	book := workload.AddressBook(5, 2000)
+	want := workload.CountLastName(book, workload.QueryName())
+	got, err := runRADram(m, book, 2000, workload.QueryName())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	// 2000 records at 509/page (64 KB pages) -> 4 pages, all activated.
+	if m.AP.Stats.Activations != 4 {
+		t.Fatalf("activations = %d, want 4", m.AP.Stats.Activations)
+	}
+}
+
+func TestNoMatchesQuery(t *testing.T) {
+	m := radram.MustNew(cfg())
+	book := workload.AddressBook(5, 300)
+	got, err := runRADram(m, book, 300, "zzz-not-a-name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("count = %d for absent name", got)
+	}
+}
+
+func TestSearchIsEarlyExit(t *testing.T) {
+	// The circuit charges fewer cycles when first words mismatch: a page
+	// of non-matching records must finish faster than one full compare per
+	// record would.
+	m := radram.MustNew(cfg())
+	book := workload.AddressBook(5, 509) // one page
+	if _, err := runRADram(m, book, 509, "zzzz"); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := m.AP.Group("database")
+	busy := g.Pages()[0].BusyTime
+	// Full compare would be >= 8 cycles/record = 509*8*10ns ~ 40us; early
+	// exit on the first word keeps it near 3 cycles/record ~ 15us.
+	if busy.Microseconds() > 25 {
+		t.Fatalf("page busy %v suggests no early exit", busy)
+	}
+}

@@ -1,0 +1,36 @@
+// Package layout holds the memory-layout conventions shared by the
+// application studies: where application data lives, how much of each
+// Active Page is usable after its synchronization header, and small
+// packing helpers.
+package layout
+
+import "activepages/internal/radram"
+
+// DataBase is where application data (and the first Active Page) is
+// placed. It is superpage-aligned for every page size the experiments use.
+const DataBase = 16 * 1024 * 1024
+
+// HeaderBytes is the per-page synchronization/control area: activation
+// control words, synchronization variables, per-page outputs (match
+// counts, boundary slots, gathered-operand cursors). It mirrors the
+// paper's application-defined synchronization variables (Section 2).
+const HeaderBytes = 256
+
+// UsableBytes is the data capacity of one Active Page after the header.
+func UsableBytes(m *radram.Machine) uint64 {
+	return m.PageBytes() - HeaderBytes
+}
+
+// PackQueryWords packs a query string into 32-bit little-endian words of a
+// fixed-width, NUL-padded field, ready for word-at-a-time comparison.
+func PackQueryWords(s string, fieldBytes int) []uint32 {
+	words := make([]uint32, fieldBytes/4)
+	for i := 0; i < fieldBytes; i++ {
+		var b byte
+		if i < len(s) {
+			b = s[i]
+		}
+		words[i/4] |= uint32(b) << (8 * uint(i%4))
+	}
+	return words
+}

@@ -1,0 +1,41 @@
+package layout
+
+import (
+	"testing"
+
+	"activepages/internal/radram"
+)
+
+func TestDataBaseIsAligned(t *testing.T) {
+	for _, size := range []uint64{16 * 1024, 64 * 1024, 512 * 1024} {
+		if DataBase%size != 0 {
+			t.Errorf("DataBase not aligned to %d-byte pages", size)
+		}
+	}
+}
+
+func TestUsableBytes(t *testing.T) {
+	m := radram.MustNew(radram.DefaultConfig().WithPageBytes(64 * 1024))
+	if got := UsableBytes(m); got != 64*1024-HeaderBytes {
+		t.Fatalf("usable = %d", got)
+	}
+}
+
+func TestPackQueryWords(t *testing.T) {
+	w := PackQueryWords("abcd", 8)
+	if len(w) != 2 {
+		t.Fatalf("len = %d", len(w))
+	}
+	// Little-endian: 'a' in the low byte.
+	if w[0] != 0x64636261 {
+		t.Fatalf("w[0] = %#x", w[0])
+	}
+	if w[1] != 0 {
+		t.Fatalf("padding word = %#x, want 0", w[1])
+	}
+	// Short strings NUL-pad; the packed form must differ from a longer
+	// string sharing the prefix.
+	if PackQueryWords("ab", 8)[0] == PackQueryWords("abc", 8)[0] {
+		t.Fatal("prefix strings packed identically")
+	}
+}

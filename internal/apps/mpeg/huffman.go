@@ -1,0 +1,294 @@
+package mpeg
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"activepages/internal/apps/layout"
+	"activepages/internal/circuits"
+	"activepages/internal/core"
+	"activepages/internal/logic"
+	"activepages/internal/radram"
+)
+
+// Huffman encoding, completing the paper's future MPEG partitioning
+// (Section 5.2: "... and Huffman encoding and decoding"). The partition
+// follows the paper's processor/memory split for complex-versus-bulk work:
+// the processor builds the canonical code table from symbol statistics (a
+// small, irregular computation), then every page encodes its block of data
+// against the table in parallel (bulk, regular bit-packing), and the
+// processor reads back only the compressed streams.
+
+// HuffmanCode is one symbol's canonical code.
+type HuffmanCode struct {
+	Len  uint8
+	Bits uint32 // most-significant bit first within Len
+}
+
+// HuffmanTable maps byte symbols to codes. Symbols with Len 0 do not occur.
+type HuffmanTable [256]HuffmanCode
+
+type huffNode struct {
+	freq        uint64
+	symbol      int // -1 for internal
+	left, right *huffNode
+}
+
+type huffHeap []*huffNode
+
+func (h huffHeap) Len() int { return len(h) }
+func (h huffHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].symbol < h[j].symbol // deterministic ties
+}
+func (h huffHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *huffHeap) Push(x any)   { *h = append(*h, x.(*huffNode)) }
+func (h *huffHeap) Pop() any     { old := *h; n := old[len(old)-1]; *h = old[:len(old)-1]; return n }
+
+// BuildHuffmanTable computes a canonical Huffman table from the data's
+// byte frequencies. Deterministic: ties break by symbol value.
+func BuildHuffmanTable(data []byte) HuffmanTable {
+	var freq [256]uint64
+	for _, b := range data {
+		freq[b]++
+	}
+	var h huffHeap
+	for s, f := range freq {
+		if f > 0 {
+			h = append(h, &huffNode{freq: f, symbol: s})
+		}
+	}
+	var table HuffmanTable
+	switch len(h) {
+	case 0:
+		return table
+	case 1:
+		table[h[0].symbol] = HuffmanCode{Len: 1, Bits: 0}
+		return table
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*huffNode)
+		b := heap.Pop(&h).(*huffNode)
+		heap.Push(&h, &huffNode{freq: a.freq + b.freq, symbol: -1, left: a, right: b})
+	}
+	// Collect code lengths.
+	type symLen struct {
+		sym int
+		len uint8
+	}
+	var lens []symLen
+	var walk func(n *huffNode, depth uint8)
+	walk = func(n *huffNode, depth uint8) {
+		if n.symbol >= 0 {
+			lens = append(lens, symLen{n.symbol, depth})
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(h[0], 0)
+	// Canonicalize: sort by (length, symbol) and assign sequential codes.
+	sort.Slice(lens, func(i, j int) bool {
+		if lens[i].len != lens[j].len {
+			return lens[i].len < lens[j].len
+		}
+		return lens[i].sym < lens[j].sym
+	})
+	code := uint32(0)
+	prevLen := lens[0].len
+	for _, sl := range lens {
+		code <<= uint(sl.len - prevLen)
+		prevLen = sl.len
+		table[sl.sym] = HuffmanCode{Len: sl.len, Bits: code}
+		code++
+	}
+	return table
+}
+
+// HuffmanEncodeHost encodes data with the table, returning the packed
+// bitstream and its bit length.
+func HuffmanEncodeHost(table *HuffmanTable, data []byte) ([]byte, uint64) {
+	var out []byte
+	var acc uint32
+	var nbits uint
+	var total uint64
+	for _, b := range data {
+		c := table[b]
+		for i := int(c.Len) - 1; i >= 0; i-- {
+			acc = acc<<1 | (c.Bits >> uint(i) & 1)
+			nbits++
+			total++
+			if nbits == 8 {
+				out = append(out, byte(acc))
+				acc, nbits = 0, 0
+			}
+		}
+	}
+	if nbits > 0 {
+		out = append(out, byte(acc<<(8-nbits)))
+	}
+	return out, total
+}
+
+// HuffmanDecodeHost decodes nSymbols from the bitstream.
+func HuffmanDecodeHost(table *HuffmanTable, stream []byte, nSymbols int) ([]byte, error) {
+	// Build a (len, code) -> symbol map.
+	type key struct {
+		l uint8
+		c uint32
+	}
+	dec := map[key]byte{}
+	for s := 0; s < 256; s++ {
+		if table[s].Len > 0 {
+			dec[key{table[s].Len, table[s].Bits}] = byte(s)
+		}
+	}
+	out := make([]byte, 0, nSymbols)
+	var code uint32
+	var l uint8
+	bit := 0
+	for len(out) < nSymbols {
+		if bit >= len(stream)*8 {
+			return nil, fmt.Errorf("mpeg: bitstream exhausted after %d symbols", len(out))
+		}
+		code = code<<1 | uint32(stream[bit/8]>>(7-uint(bit%8))&1)
+		l++
+		bit++
+		if s, ok := dec[key{l, code}]; ok {
+			out = append(out, s)
+			code, l = 0, 0
+		}
+		if l > 32 {
+			return nil, fmt.Errorf("mpeg: no code matched after 32 bits")
+		}
+	}
+	return out, nil
+}
+
+// Page layout for Huffman: header | code table (256 x 5 bytes: len, code)
+// | input bytes | output bitstream (worst case: maxLen bits per byte).
+const (
+	huffBitsSlot  = 56 // header: output bit count (u32 low, u32 high)
+	huffTableOff  = layout.HeaderBytes
+	huffTableSize = 256 * 5
+)
+
+type huffFn struct{}
+
+func (huffFn) Name() string          { return "mmx-huffman" }
+func (huffFn) Design() *logic.Design { return circuits.MPEGMMX() }
+
+func (huffFn) Run(ctx *core.PageContext) (core.Result, error) {
+	count := ctx.Args[0]
+	inOff := uint64(huffTableOff + huffTableSize)
+	outOff := inOff + count
+
+	var acc uint32
+	var nbits uint
+	var totalBits uint64
+	outPos := outOff
+	var cycles uint64
+	for i := uint64(0); i < count; i++ {
+		b := ctx.ReadU8(inOff + i)
+		entry := uint64(huffTableOff) + uint64(b)*5
+		l := ctx.ReadU8(entry)
+		bits := ctx.ReadU32(entry + 1)
+		for k := int(l) - 1; k >= 0; k-- {
+			acc = acc<<1 | (bits >> uint(k) & 1)
+			nbits++
+			totalBits++
+			if nbits == 8 {
+				ctx.WriteU8(outPos, uint8(acc))
+				outPos++
+				acc, nbits = 0, 0
+			}
+		}
+		// The shifter emits one output bit per logic cycle plus a table
+		// lookup cycle per symbol.
+		cycles += uint64(l) + 1
+	}
+	if nbits > 0 {
+		ctx.WriteU8(outPos, uint8(acc<<(8-nbits)))
+	}
+	ctx.WriteU32(huffBitsSlot, uint32(totalBits))
+	ctx.WriteU32(huffBitsSlot+4, uint32(totalBits>>32))
+	return ctx.Finish(cycles)
+}
+
+// HuffmanResult is one page's compressed output.
+type HuffmanResult struct {
+	Stream  []byte
+	Bits    uint64
+	Symbols int
+}
+
+// huffBytesPerPage sizes a page's input block: table + input + worst-case
+// output (we budget 3 output bytes per input byte, ample for canonical
+// codes over byte data with any plausible skew; the circuit would signal
+// overflow in hardware).
+func huffBytesPerPage(m *radram.Machine) int {
+	return (int(layout.UsableBytes(m)) - huffTableSize) / 4
+}
+
+// RunHuffman encodes data across Active Pages with a processor-built
+// canonical table and returns the per-page streams.
+func RunHuffman(m *radram.Machine, data []byte) (HuffmanTable, []HuffmanResult, error) {
+	if m.AP == nil {
+		return HuffmanTable{}, nil, fmt.Errorf("mpeg: RunHuffman requires an Active-Page machine")
+	}
+	// Processor phase: build the table. Charge the histogram scan and the
+	// (small) tree construction.
+	table := BuildHuffmanTable(data)
+	m.CPU.Compute(uint64(len(data))/8 + 2048) // sampled histogram + heap work
+
+	perPage := huffBytesPerPage(m)
+	nPages := (len(data) + perPage - 1) / perPage
+	pagesList, err := m.AP.AllocRange("mpeg", layout.DataBase, uint64(nPages))
+	if err != nil {
+		return table, nil, err
+	}
+	if err := m.AP.Bind("mpeg", huffFn{}); err != nil {
+		return table, nil, err
+	}
+
+	// Broadcast the table and scatter the data (the table write is
+	// processor work: one block store per page).
+	tbl := make([]byte, huffTableSize)
+	for s := 0; s < 256; s++ {
+		tbl[s*5] = table[s].Len
+		tbl[s*5+1] = byte(table[s].Bits)
+		tbl[s*5+2] = byte(table[s].Bits >> 8)
+		tbl[s*5+3] = byte(table[s].Bits >> 16)
+		tbl[s*5+4] = byte(table[s].Bits >> 24)
+	}
+	for p := 0; p < nPages; p++ {
+		base := pagesList[p].Base
+		m.CPU.UncachedWriteBlock(base+huffTableOff, tbl)
+		first := p * perPage
+		cnt := min(perPage, len(data)-first)
+		m.Store.Write(base+huffTableOff+huffTableSize, data[first:first+cnt])
+		if err := m.AP.Activate(pagesList[p], "mmx-huffman", uint64(cnt)); err != nil {
+			return table, nil, err
+		}
+	}
+
+	// Collect streams.
+	cpu := m.CPU
+	out := make([]HuffmanResult, nPages)
+	for p := 0; p < nPages; p++ {
+		m.AP.Wait(pagesList[p])
+		base := pagesList[p].Base
+		bits := uint64(cpu.UncachedLoadU32(base+huffBitsSlot)) |
+			uint64(cpu.UncachedLoadU32(base+huffBitsSlot+4))<<32
+		first := p * perPage
+		cnt := min(perPage, len(data)-first)
+		stream := make([]byte, (bits+7)/8)
+		cpu.UncachedReadBlock(base+huffTableOff+huffTableSize+uint64(cnt), stream)
+		out[p] = HuffmanResult{Stream: stream, Bits: bits, Symbols: cnt}
+	}
+	return table, out, nil
+}

@@ -1,0 +1,144 @@
+package mpeg
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"activepages/internal/radram"
+)
+
+func skewedData(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, n)
+	for i := range data {
+		// Zipf-ish: mostly zeros (quantized DCT style), some small values.
+		switch rng.Intn(10) {
+		case 0, 1:
+			data[i] = byte(rng.Intn(16))
+		case 2:
+			data[i] = byte(rng.Intn(256))
+		default:
+			data[i] = 0
+		}
+	}
+	return data
+}
+
+func TestHuffmanHostRoundTrip(t *testing.T) {
+	data := skewedData(1, 5000)
+	table := BuildHuffmanTable(data)
+	stream, bits := HuffmanEncodeHost(&table, data)
+	if bits == 0 || len(stream) == 0 {
+		t.Fatal("empty encoding")
+	}
+	back, err := HuffmanDecodeHost(&table, stream, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("round trip corrupted data")
+	}
+	// Skewed data must compress.
+	if uint64(len(stream)) >= uint64(len(data)) {
+		t.Fatalf("no compression: %d -> %d bytes", len(data), len(stream))
+	}
+}
+
+func TestHuffmanSingleSymbol(t *testing.T) {
+	data := bytes.Repeat([]byte{7}, 100)
+	table := BuildHuffmanTable(data)
+	if table[7].Len != 1 {
+		t.Fatalf("single-symbol code length = %d, want 1", table[7].Len)
+	}
+	stream, bits := HuffmanEncodeHost(&table, data)
+	if bits != 100 {
+		t.Fatalf("bits = %d, want 100", bits)
+	}
+	back, err := HuffmanDecodeHost(&table, stream, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestHuffmanEmpty(t *testing.T) {
+	table := BuildHuffmanTable(nil)
+	stream, bits := HuffmanEncodeHost(&table, nil)
+	if bits != 0 || len(stream) != 0 {
+		t.Fatal("empty input produced output")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary data, and the canonical
+// codes satisfy Kraft's equality (a complete prefix code).
+func TestHuffmanRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		table := BuildHuffmanTable(data)
+		var kraft float64
+		distinct := 0
+		for s := 0; s < 256; s++ {
+			if table[s].Len > 0 {
+				kraft += 1 / float64(uint64(1)<<table[s].Len)
+				distinct++
+			}
+		}
+		if distinct > 1 && (kraft < 0.999 || kraft > 1.001) {
+			return false
+		}
+		stream, _ := HuffmanEncodeHost(&table, data)
+		back, err := HuffmanDecodeHost(&table, stream, len(data))
+		return err == nil && bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageHuffmanMatchesHost(t *testing.T) {
+	m := radram.MustNew(cfg())
+	perPage := huffBytesPerPage(m)
+	data := skewedData(9, perPage*2+500) // three pages
+	table, results, err := RunHuffman(m, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d pages, want 3", len(results))
+	}
+	off := 0
+	for p, res := range results {
+		blk := data[off : off+res.Symbols]
+		wantStream, wantBits := HuffmanEncodeHost(&table, blk)
+		if res.Bits != wantBits {
+			t.Fatalf("page %d: %d bits, want %d", p, res.Bits, wantBits)
+		}
+		if !bytes.Equal(res.Stream, wantStream) {
+			t.Fatalf("page %d: stream mismatch", p)
+		}
+		back, err := HuffmanDecodeHost(&table, res.Stream, res.Symbols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, blk) {
+			t.Fatalf("page %d: decode mismatch", p)
+		}
+		off += res.Symbols
+	}
+	if off != len(data) {
+		t.Fatalf("pages covered %d bytes, want %d", off, len(data))
+	}
+}
+
+func TestHuffmanRequiresActivePages(t *testing.T) {
+	m := radram.NewConventional(cfg())
+	if _, _, err := RunHuffman(m, []byte{1, 2, 3}); err == nil {
+		t.Fatal("RunHuffman accepted a conventional machine")
+	}
+}

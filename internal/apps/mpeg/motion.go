@@ -1,0 +1,282 @@
+package mpeg
+
+import (
+	"fmt"
+
+	"activepages/internal/apps/layout"
+	"activepages/internal/circuits"
+	"activepages/internal/core"
+	"activepages/internal/logic"
+	"activepages/internal/radram"
+	"activepages/internal/workload"
+)
+
+// This file implements motion detection, another MPEG stage the paper's
+// future-work partitioning assigns to the RADram memory system ("the
+// RADram system will handle motion detection ...", Section 5.2): for each
+// 8x8 block of the current frame, search a +/-R pixel window of the
+// reference frame for the displacement minimizing the sum of absolute
+// differences (SAD). The search is embarrassingly parallel across blocks,
+// so pages hold co-located reference/current rows and sweep their windows
+// concurrently; the processor reads back one motion vector per block.
+
+// MotionVector is a block displacement and its SAD.
+type MotionVector struct {
+	DX, DY int8
+	SAD    uint32
+}
+
+// Frame pixel geometry for the motion study: luma rows of fixed width,
+// 8x8 blocks.
+const (
+	motionWidth  = 256 // pixels per row
+	blockSize    = 8
+	searchRadius = 4
+)
+
+// MotionReferenceHost computes the reference answer: full search over the
+// window with row-major tie-breaking (first minimum wins), replicate
+// clamping at frame borders.
+func MotionReferenceHost(ref, cur []uint8, w, h int) []MotionVector {
+	var out []MotionVector
+	at := func(img []uint8, x, y int) uint8 {
+		if x < 0 {
+			x = 0
+		}
+		if x >= w {
+			x = w - 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		if y >= h {
+			y = h - 1
+		}
+		return img[y*w+x]
+	}
+	for by := 0; by+blockSize <= h; by += blockSize {
+		for bx := 0; bx+blockSize <= w; bx += blockSize {
+			best := MotionVector{SAD: ^uint32(0)}
+			for dy := -searchRadius; dy <= searchRadius; dy++ {
+				for dx := -searchRadius; dx <= searchRadius; dx++ {
+					var sad uint32
+					for y := 0; y < blockSize; y++ {
+						for x := 0; x < blockSize; x++ {
+							c := at(cur, bx+x, by+y)
+							r := at(ref, bx+x+dx, by+y+dy)
+							if c > r {
+								sad += uint32(c - r)
+							} else {
+								sad += uint32(r - c)
+							}
+						}
+					}
+					if sad < best.SAD {
+						best = MotionVector{DX: int8(dx), DY: int8(dy), SAD: sad}
+					}
+				}
+			}
+			out = append(out, best)
+		}
+	}
+	return out
+}
+
+// MotionFrame generates a reference frame and a shifted-plus-noise current
+// frame, so true motion exists for the search to find.
+func MotionFrame(seed int64, h int) (ref, cur []uint8) {
+	img := workload.NewImage(seed, motionWidth, h)
+	ref = make([]uint8, motionWidth*h)
+	cur = make([]uint8, motionWidth*h)
+	for i, p := range img.Pix {
+		ref[i] = uint8(p >> 2)
+	}
+	// Current frame: the reference shifted by (+2, +1) with mild noise.
+	for y := 0; y < h; y++ {
+		for x := 0; x < motionWidth; x++ {
+			sx, sy := x-2, y-1
+			if sx < 0 {
+				sx = 0
+			}
+			if sy < 0 {
+				sy = 0
+			}
+			v := int(ref[sy*motionWidth+sx]) + int(x%3) - 1
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			cur[y*motionWidth+x] = uint8(v)
+		}
+	}
+	return ref, cur
+}
+
+// Page layout for motion search: header | reference rows (blockRows +
+// 2*searchRadius halo) | current rows (blockRows) | output vectors.
+const motionVecSlot = 48 // header slot: vector count written
+
+type motionFn struct{ w, rowsPerPage int }
+
+func (motionFn) Name() string          { return "mmx-motion" }
+func (motionFn) Design() *logic.Design { return circuits.MPEGMMX() }
+
+func (f motionFn) Run(ctx *core.PageContext) (core.Result, error) {
+	blockRows := int(ctx.Args[0]) // pixel rows of current frame in this page
+	w := f.w
+	refOff := uint64(layout.HeaderBytes)
+	refRows := blockRows + 2*searchRadius
+	curOff := refOff + uint64(refRows*w)
+	outOff := curOff + uint64(blockRows*w)
+
+	read := func(off uint64, x, y, maxY int) uint8 {
+		if x < 0 {
+			x = 0
+		}
+		if x >= w {
+			x = w - 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		if y >= maxY {
+			y = maxY - 1
+		}
+		return ctx.ReadU8(off + uint64(y*w+x))
+	}
+
+	var cycles uint64
+	nvec := 0
+	for by := 0; by+blockSize <= blockRows; by += blockSize {
+		for bx := 0; bx+blockSize <= w; bx += blockSize {
+			best := MotionVector{SAD: ^uint32(0)}
+			for dy := -searchRadius; dy <= searchRadius; dy++ {
+				for dx := -searchRadius; dx <= searchRadius; dx++ {
+					var sad uint32
+					for y := 0; y < blockSize; y++ {
+						for x := 0; x < blockSize; x++ {
+							c := read(curOff, bx+x, by+y, blockRows)
+							// Reference rows carry the halo: row 0 of the
+							// current block maps to row searchRadius.
+							r := read(refOff, bx+x+dx, by+y+dy+searchRadius, refRows)
+							if c > r {
+								sad += uint32(c - r)
+							} else {
+								sad += uint32(r - c)
+							}
+						}
+					}
+					if sad < best.SAD {
+						best = MotionVector{DX: int8(dx), DY: int8(dy), SAD: sad}
+					}
+				}
+			}
+			o := outOff + uint64(nvec)*4
+			ctx.WriteU8(o, uint8(best.DX))
+			ctx.WriteU8(o+1, uint8(best.DY))
+			ctx.WriteU16(o+2, uint16(best.SAD))
+			nvec++
+			// The SAD datapath processes four pixel pairs per cycle (the
+			// MMX lanes); each candidate costs 64/4 cycles plus compare.
+			cycles += uint64((2*searchRadius + 1) * (2*searchRadius + 1) * (blockSize*blockSize/4 + 1))
+		}
+	}
+	ctx.WriteU32(motionVecSlot, uint32(nvec))
+	return ctx.Finish(cycles)
+}
+
+// motionRowsPerPage sizes a page's block rows: reference rows with halo,
+// current rows, and 4 bytes per output vector.
+func motionRowsPerPage(m *radram.Machine) int {
+	usable := int(layout.UsableBytes(m))
+	// rows*(w + w) + 2R*w + rows/8 * w/8 * 4 <= usable
+	w := motionWidth
+	rows := (usable - 2*searchRadius*w) / (2*w + w/16)
+	rows -= rows % blockSize
+	if rows < blockSize {
+		rows = blockSize
+	}
+	return rows
+}
+
+// RunMotion performs the block-motion search in Active Pages and returns
+// the motion field (one vector per 8x8 block, row-major).
+func RunMotion(m *radram.Machine, ref, cur []uint8, h int) ([]MotionVector, error) {
+	if m.AP == nil {
+		return nil, fmt.Errorf("mpeg: RunMotion requires an Active-Page machine")
+	}
+	w := motionWidth
+	rows := motionRowsPerPage(m)
+	nPages := (h + rows - 1) / rows
+	pagesList, err := m.AP.AllocRange("mpeg", layout.DataBase, uint64(nPages))
+	if err != nil {
+		return nil, err
+	}
+	fn := motionFn{w: w, rowsPerPage: rows}
+	if err := m.AP.Bind("mpeg", fn); err != nil {
+		return nil, err
+	}
+
+	clampRow := func(y int) int {
+		if y < 0 {
+			return 0
+		}
+		if y >= h {
+			return h - 1
+		}
+		return y
+	}
+	// Lay out each page: reference rows with +/-R halo, then current rows.
+	for p := 0; p < nPages; p++ {
+		base := pagesList[p].Base
+		first := p * rows
+		blk := min(rows, h-first)
+		blk -= blk % blockSize
+		if blk == 0 {
+			blk = min(blockSize, h-first)
+		}
+		refOff := base + layout.HeaderBytes
+		for r := -searchRadius; r < blk+searchRadius; r++ {
+			src := clampRow(first+r) * w
+			m.Store.Write(refOff+uint64(r+searchRadius)*uint64(w), ref[src:src+w])
+		}
+		curOff := refOff + uint64((blk+2*searchRadius)*w)
+		for r := 0; r < blk; r++ {
+			src := (first + r) * w
+			m.Store.Write(curOff+uint64(r)*uint64(w), cur[src:src+w])
+		}
+		if err := m.AP.Activate(pagesList[p], "mmx-motion", uint64(blk)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Collect vectors.
+	cpu := m.CPU
+	var out []MotionVector
+	for p := 0; p < nPages; p++ {
+		m.AP.Wait(pagesList[p])
+		base := pagesList[p].Base
+		first := p * rows
+		blk := min(rows, h-first)
+		blk -= blk % blockSize
+		if blk == 0 {
+			blk = min(blockSize, h-first)
+		}
+		nvec := int(cpu.UncachedLoadU32(base + motionVecSlot))
+		refRows := blk + 2*searchRadius
+		outAddr := base + layout.HeaderBytes + uint64(refRows*w) + uint64(blk*w)
+		buf := make([]byte, nvec*4)
+		cpu.UncachedReadBlock(outAddr, buf)
+		for i := 0; i < nvec; i++ {
+			out = append(out, MotionVector{
+				DX:  int8(buf[i*4]),
+				DY:  int8(buf[i*4+1]),
+				SAD: uint32(uint16(buf[i*4+2]) | uint16(buf[i*4+3])<<8),
+			})
+		}
+		cpu.Compute(uint64(nvec))
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package mpeg
+
+import (
+	"testing"
+
+	"activepages/internal/radram"
+)
+
+func TestMotionReferenceFindsKnownShift(t *testing.T) {
+	ref, cur := MotionFrame(3, 64)
+	vecs := MotionReferenceHost(ref, cur, motionWidth, 64)
+	// The current frame is the reference shifted by (+2, +1): away from
+	// borders, the best vector should be (-2, -1) (where the block content
+	// came from).
+	interior := 0
+	matching := 0
+	blocksPerRow := motionWidth / blockSize
+	for i, v := range vecs {
+		bx := (i % blocksPerRow) * blockSize
+		by := (i / blocksPerRow) * blockSize
+		if bx < 8 || bx > motionWidth-16 || by < 8 || by > 64-16 {
+			continue
+		}
+		interior++
+		if v.DX == -2 && v.DY == -1 {
+			matching++
+		}
+	}
+	if interior == 0 {
+		t.Fatal("no interior blocks")
+	}
+	if matching*10 < interior*8 {
+		t.Fatalf("only %d/%d interior blocks found the true motion", matching, interior)
+	}
+}
+
+func TestPageMotionMatchesHost(t *testing.T) {
+	m := radram.MustNew(cfg())
+	rows := motionRowsPerPage(m)
+	h := rows*2 + 2*blockSize // multiple strips, block-aligned
+	ref, cur := MotionFrame(7, h)
+	want := MotionReferenceHost(ref, cur, motionWidth, h)
+	got, err := RunMotion(m, ref, cur, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d vectors, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("block %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if m.AP.Stats.Activations < 2 {
+		t.Fatal("motion search used too few pages")
+	}
+}
+
+func TestMotionRequiresActivePages(t *testing.T) {
+	m := radram.NewConventional(cfg())
+	ref, cur := MotionFrame(7, 16)
+	if _, err := RunMotion(m, ref, cur, 16); err == nil {
+		t.Fatal("RunMotion accepted a conventional machine")
+	}
+}
+
+func TestMotionRowsFitPage(t *testing.T) {
+	m := radram.MustNew(cfg())
+	rows := motionRowsPerPage(m)
+	if rows%blockSize != 0 {
+		t.Fatalf("rows %d not block-aligned", rows)
+	}
+	need := (rows+2*searchRadius)*motionWidth + rows*motionWidth +
+		(rows/blockSize)*(motionWidth/blockSize)*4
+	if uint64(need) > m.PageBytes()-256 {
+		t.Fatalf("layout (%d bytes) overflows the page", need)
+	}
+}

@@ -1,0 +1,95 @@
+package mpeg
+
+import (
+	"testing"
+
+	"activepages/internal/radram"
+	"activepages/internal/workload"
+)
+
+func cfg() radram.Config {
+	return radram.DefaultConfig().WithPageBytes(64 * 1024)
+}
+
+func TestVerifiesBothMachines(t *testing.T) {
+	for _, pages := range []float64{0.1, 1, 3} {
+		conv := radram.NewConventional(cfg())
+		if err := (Benchmark{}).Run(conv, pages); err != nil {
+			t.Fatalf("conventional %g pages: %v", pages, err)
+		}
+		rad := radram.MustNew(cfg())
+		if err := (Benchmark{}).Run(rad, pages); err != nil {
+			t.Fatalf("radram %g pages: %v", pages, err)
+		}
+	}
+}
+
+func TestSaturate(t *testing.T) {
+	if saturate(40000) != 32767 {
+		t.Error("positive saturation")
+	}
+	if saturate(-40000) != -32768 {
+		t.Error("negative saturation")
+	}
+	if saturate(123) != 123 {
+		t.Error("identity")
+	}
+}
+
+func TestConventionalMatchesReferenceDirect(t *testing.T) {
+	m := radram.NewConventional(cfg())
+	f := workload.NewMPEGFrame(9, 50)
+	got := runConventional(m, f)
+	want := f.ApplyCorrectionReference()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRADramMatchesReferenceDirect(t *testing.T) {
+	m := radram.MustNew(cfg())
+	f := workload.NewMPEGFrame(9, 700) // > one page of blocks
+	got, err := runRADram(m, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f.ApplyCorrectionReference()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if m.AP.Stats.Activations < 2 {
+		t.Fatal("multi-page frame used too few activations")
+	}
+}
+
+func TestWideInstructionsPerPage(t *testing.T) {
+	// One page holds 10880 halfwords at 64 KB; at 4096 halfwords per wide
+	// instruction that is 3 activations for a full page.
+	m := radram.MustNew(cfg())
+	f := workload.NewMPEGFrame(9, hwPerPage(m)/64) // exactly one page
+	if _, err := runRADram(m, f); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.AP.Stats.Activations; got != 3 {
+		t.Fatalf("activations = %d, want 3 wide instructions", got)
+	}
+}
+
+func TestRADramBeatsConventionalPerHalfword(t *testing.T) {
+	conv := radram.NewConventional(cfg())
+	if err := (Benchmark{}).Run(conv, 4); err != nil {
+		t.Fatal(err)
+	}
+	rad := radram.MustNew(cfg())
+	if err := (Benchmark{}).Run(rad, 4); err != nil {
+		t.Fatal(err)
+	}
+	if rad.Elapsed() >= conv.Elapsed() {
+		t.Fatalf("RADram MMX (%v) not faster than SimpleScalar MMX (%v)",
+			rad.Elapsed(), conv.Elapsed())
+	}
+}

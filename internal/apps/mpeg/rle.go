@@ -1,0 +1,153 @@
+package mpeg
+
+import (
+	"fmt"
+
+	"activepages/internal/apps/layout"
+	"activepages/internal/circuits"
+	"activepages/internal/core"
+	"activepages/internal/logic"
+	"activepages/internal/radram"
+	"activepages/internal/workload"
+)
+
+// This file implements run-length encoding, one of the MPEG stages the
+// paper assigns to the RADram memory system in its future-work
+// partitioning (Section 5.2: "the RADram system will handle ... run length
+// encoding and decoding (RLE)"). Quantized DCT blocks are mostly zeros, so
+// RLE in memory compresses each page's blocks in parallel and the
+// processor reads back only the short encoded streams.
+
+// RLE output format, per page: header slot rleLenSlot holds the number of
+// (run, value) pairs; pairs follow at rleOutOff as u16 run length then u16
+// value.
+const rleLenSlot = 32
+
+// RLEEncodeHost is the reference encoder.
+func RLEEncodeHost(data []int16) (runs []uint16, vals []int16) {
+	i := 0
+	for i < len(data) {
+		j := i + 1
+		for j < len(data) && data[j] == data[i] && j-i < 65535 {
+			j++
+		}
+		runs = append(runs, uint16(j-i))
+		vals = append(vals, data[i])
+		i = j
+	}
+	return runs, vals
+}
+
+// RLEDecodeHost expands an encoded stream.
+func RLEDecodeHost(runs []uint16, vals []int16) []int16 {
+	var out []int16
+	for i, r := range runs {
+		for k := uint16(0); k < r; k++ {
+			out = append(out, vals[i])
+		}
+	}
+	return out
+}
+
+// rleFn is the page circuit: encode countHW halfwords starting at the
+// reference region into the output region.
+type rleFn struct{}
+
+func (rleFn) Name() string          { return "mmx-rle" }
+func (rleFn) Design() *logic.Design { return circuits.MPEGMMX() }
+
+func (rleFn) Run(ctx *core.PageContext) (core.Result, error) {
+	countHW, totalHW := ctx.Args[0], ctx.Args[1]
+	refOff := uint64(layout.HeaderBytes)
+	outOff := refOff + totalHW*2 // worst case: one 4-byte pair per halfword
+
+	var pairs uint32
+	var cycles uint64
+	i := uint64(0)
+	for i < countHW {
+		v := ctx.ReadU16(refOff + i*2)
+		run := uint64(1)
+		for i+run < countHW && ctx.ReadU16(refOff+(i+run)*2) == v && run < 65535 {
+			run++
+		}
+		ctx.WriteU16(outOff+uint64(pairs)*4, uint16(run))
+		ctx.WriteU16(outOff+uint64(pairs)*4+2, v)
+		pairs++
+		i += run
+		// The comparator examines one halfword per cycle; emitting a pair
+		// costs one more.
+		cycles += run + 1
+	}
+	ctx.WriteU32(rleLenSlot, pairs)
+	return ctx.Finish(cycles)
+}
+
+// RLEResult is the encoded form of one page's data.
+type RLEResult struct {
+	Runs []uint16
+	Vals []int16
+}
+
+// rleHWPerPage is the halfwords of input one page can RLE-encode: 2 bytes
+// of data plus a worst-case 4-byte output pair per halfword.
+func rleHWPerPage(m *radram.Machine) int {
+	return int(layout.UsableBytes(m)) / 6
+}
+
+// RunRLE encodes a frame's reference samples with Active Pages and returns
+// the per-page encoded streams (read back by the processor, charged).
+func RunRLE(m *radram.Machine, f *workload.MPEGFrame) ([]RLEResult, error) {
+	if m.AP == nil {
+		return nil, fmt.Errorf("mpeg: RunRLE requires an Active-Page machine")
+	}
+	perPage := rleHWPerPage(m)
+	n := len(f.Reference)
+	nPages := (n + perPage - 1) / perPage
+	pagesList, err := m.AP.AllocRange("mpeg", layout.DataBase, uint64(nPages))
+	if err != nil {
+		return nil, err
+	}
+	if err := m.AP.Bind("mpeg", rleFn{}); err != nil {
+		return nil, err
+	}
+	for p := 0; p < nPages; p++ {
+		base := pagesList[p].Base + layout.HeaderBytes
+		first := p * perPage
+		cnt := min(perPage, n-first)
+		for i := 0; i < cnt; i++ {
+			m.Store.WriteU16(base+uint64(i)*2, uint16(f.Reference[first+i]))
+		}
+	}
+
+	for p := 0; p < nPages; p++ {
+		first := p * perPage
+		cnt := min(perPage, n-first)
+		if err := m.AP.Activate(pagesList[p], "mmx-rle",
+			uint64(cnt), uint64(perPage)); err != nil {
+			return nil, err
+		}
+	}
+
+	cpu := m.CPU
+	out := make([]RLEResult, nPages)
+	for p := 0; p < nPages; p++ {
+		m.AP.Wait(pagesList[p])
+		base := pagesList[p].Base
+		pairs := cpu.UncachedLoadU32(base + rleLenSlot)
+		outAddr := base + layout.HeaderBytes + uint64(perPage)*2
+		res := RLEResult{
+			Runs: make([]uint16, pairs),
+			Vals: make([]int16, pairs),
+		}
+		// The processor streams the short encoded form over the bus.
+		buf := make([]byte, pairs*4)
+		cpu.UncachedReadBlock(outAddr, buf)
+		for i := uint32(0); i < pairs; i++ {
+			res.Runs[i] = uint16(buf[i*4]) | uint16(buf[i*4+1])<<8
+			res.Vals[i] = int16(uint16(buf[i*4+2]) | uint16(buf[i*4+3])<<8)
+		}
+		cpu.Compute(uint64(pairs))
+		out[p] = res
+	}
+	return out, nil
+}

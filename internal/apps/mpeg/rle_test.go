@@ -1,0 +1,93 @@
+package mpeg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"activepages/internal/radram"
+	"activepages/internal/workload"
+)
+
+func TestRLEHostRoundTrip(t *testing.T) {
+	data := []int16{0, 0, 0, 5, 5, -3, 0, 0, 0, 0, 7}
+	runs, vals := RLEEncodeHost(data)
+	back := RLEDecodeHost(runs, vals)
+	if len(back) != len(data) {
+		t.Fatalf("decoded %d samples, want %d", len(back), len(data))
+	}
+	for i := range data {
+		if back[i] != data[i] {
+			t.Fatalf("sample %d = %d, want %d", i, back[i], data[i])
+		}
+	}
+	// 0,0,0 | 5,5 | -3 | 0,0,0,0 | 7 = 5 runs.
+	if len(runs) != 5 {
+		t.Fatalf("%d runs, want 5", len(runs))
+	}
+}
+
+func TestRLEHostRoundTripProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		// Quantized-DCT-like data: clamp to a small alphabet so runs occur.
+		data := make([]int16, len(raw))
+		for i, v := range raw {
+			data[i] = v % 3
+		}
+		runs, vals := RLEEncodeHost(data)
+		back := RLEDecodeHost(runs, vals)
+		if len(back) != len(data) {
+			return false
+		}
+		for i := range data {
+			if back[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageRLEMatchesHost(t *testing.T) {
+	m := radram.MustNew(cfg())
+	perPage := rleHWPerPage(m)
+	f := workload.NewMPEGFrame(5, perPage/64*2+3) // just over two pages
+	got, err := RunRLE(m, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(f.Reference)
+	for p := range got {
+		first := p * perPage
+		cnt := min(perPage, n-first)
+		wantRuns, wantVals := RLEEncodeHost(f.Reference[first : first+cnt])
+		if len(got[p].Runs) != len(wantRuns) {
+			t.Fatalf("page %d: %d runs, want %d", p, len(got[p].Runs), len(wantRuns))
+		}
+		for i := range wantRuns {
+			if got[p].Runs[i] != wantRuns[i] || got[p].Vals[i] != wantVals[i] {
+				t.Fatalf("page %d pair %d = (%d,%d), want (%d,%d)",
+					p, i, got[p].Runs[i], got[p].Vals[i], wantRuns[i], wantVals[i])
+			}
+		}
+		// Decode must reproduce the page's samples.
+		back := RLEDecodeHost(got[p].Runs, got[p].Vals)
+		for i := 0; i < cnt; i++ {
+			if back[i] != f.Reference[first+i] {
+				t.Fatalf("page %d sample %d mismatch", p, i)
+			}
+		}
+	}
+	if m.AP.Stats.Activations == 0 {
+		t.Fatal("RLE ran without activations")
+	}
+}
+
+func TestRLERequiresActivePages(t *testing.T) {
+	m := radram.NewConventional(cfg())
+	if _, err := RunRLE(m, workload.NewMPEGFrame(5, 10)); err == nil {
+		t.Fatal("RunRLE accepted a conventional machine")
+	}
+}

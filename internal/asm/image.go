@@ -1,0 +1,85 @@
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// The MSS1 binary format carries an assembled image between apasm and
+// aprun:
+//
+//	magic "MSS1" | entry(8) | nseg(4) | { addr(8) len(4) bytes } ...
+//	                                  | nsym(4) | { len(2) name addr(8) }
+//
+// All integers are little-endian.
+
+// MarshalImage encodes an image in the MSS1 format.
+func MarshalImage(img *Image) []byte {
+	var buf []byte
+	buf = append(buf, "MSS1"...)
+	buf = binary.LittleEndian.AppendUint64(buf, img.Entry)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(img.Segments)))
+	for _, seg := range img.Segments {
+		buf = binary.LittleEndian.AppendUint64(buf, seg.Addr)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(seg.Bytes)))
+		buf = append(buf, seg.Bytes...)
+	}
+	names := make([]string, 0, len(img.Symbols))
+	for n := range img.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(names)))
+	for _, n := range names {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(n)))
+		buf = append(buf, n...)
+		buf = binary.LittleEndian.AppendUint64(buf, img.Symbols[n])
+	}
+	return buf
+}
+
+// UnmarshalImage decodes the MSS1 format.
+func UnmarshalImage(data []byte) (*Image, error) {
+	if len(data) < 16 || string(data[:4]) != "MSS1" {
+		return nil, fmt.Errorf("asm: not an MSS1 image")
+	}
+	img := &Image{Symbols: map[string]uint64{}}
+	img.Entry = binary.LittleEndian.Uint64(data[4:])
+	nseg := binary.LittleEndian.Uint32(data[12:])
+	off := 16
+	for s := uint32(0); s < nseg; s++ {
+		if off+12 > len(data) {
+			return nil, fmt.Errorf("asm: truncated segment header")
+		}
+		addr := binary.LittleEndian.Uint64(data[off:])
+		n := int(binary.LittleEndian.Uint32(data[off+8:]))
+		off += 12
+		if n < 0 || off+n > len(data) {
+			return nil, fmt.Errorf("asm: truncated segment data")
+		}
+		img.Segments = append(img.Segments,
+			Segment{Addr: addr, Bytes: append([]byte{}, data[off:off+n]...)})
+		off += n
+	}
+	if off+4 > len(data) {
+		return img, nil // symbol table is optional
+	}
+	nsym := binary.LittleEndian.Uint32(data[off:])
+	off += 4
+	for s := uint32(0); s < nsym; s++ {
+		if off+2 > len(data) {
+			return nil, fmt.Errorf("asm: truncated symbol")
+		}
+		l := int(binary.LittleEndian.Uint16(data[off:]))
+		off += 2
+		if off+l+8 > len(data) {
+			return nil, fmt.Errorf("asm: truncated symbol")
+		}
+		name := string(data[off : off+l])
+		off += l
+		img.Symbols[name] = binary.LittleEndian.Uint64(data[off:])
+		off += 8
+	}
+	return img, nil
+}

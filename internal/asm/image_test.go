@@ -1,0 +1,115 @@
+package asm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestImageMarshalRoundTrip(t *testing.T) {
+	img, err := Assemble(`
+		.data
+	v: .word 1, 2, 3
+		.text
+	main:
+		la r1, v
+		lw r2, 0(r1)
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := MarshalImage(img)
+	back, err := UnmarshalImage(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Entry != img.Entry {
+		t.Fatalf("entry = %#x, want %#x", back.Entry, img.Entry)
+	}
+	if len(back.Segments) != len(img.Segments) {
+		t.Fatalf("segments = %d, want %d", len(back.Segments), len(img.Segments))
+	}
+	for i := range img.Segments {
+		if back.Segments[i].Addr != img.Segments[i].Addr ||
+			!bytes.Equal(back.Segments[i].Bytes, img.Segments[i].Bytes) {
+			t.Fatalf("segment %d mismatch", i)
+		}
+	}
+	if len(back.Symbols) != len(img.Symbols) {
+		t.Fatalf("symbols = %d, want %d", len(back.Symbols), len(img.Symbols))
+	}
+	for n, a := range img.Symbols {
+		if back.Symbols[n] != a {
+			t.Fatalf("symbol %s = %#x, want %#x", n, back.Symbols[n], a)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("NOPE0000000000000000"),
+		append([]byte("MSS1"), make([]byte, 12)...)[:15], // truncated header
+	}
+	for i, b := range bad {
+		if _, err := UnmarshalImage(b); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestUnmarshalRejectsTruncatedSegment(t *testing.T) {
+	img, _ := Assemble("halt\n")
+	data := MarshalImage(img)
+	// Chop the segment body.
+	if _, err := UnmarshalImage(data[:20]); err == nil {
+		t.Fatal("truncated segment accepted")
+	}
+}
+
+// Property: marshal/unmarshal is the identity on assembled programs.
+func TestImageRoundTripProperty(t *testing.T) {
+	f := func(words []uint32) bool {
+		src := ".data\n"
+		for _, w := range words {
+			if len(src) > 4000 {
+				break
+			}
+			src += "\t.word " + itoa(w) + "\n"
+		}
+		src += ".text\nmain:\n\thalt\n"
+		img, err := Assemble(src)
+		if err != nil {
+			return false
+		}
+		back, err := UnmarshalImage(MarshalImage(img))
+		if err != nil {
+			return false
+		}
+		for i := range img.Segments {
+			if !bytes.Equal(back.Segments[i].Bytes, img.Segments[i].Bytes) {
+				return false
+			}
+		}
+		return back.Entry == img.Entry
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [10]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,421 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"activepages/internal/isa"
+)
+
+// stripComment removes '#' and ';' comments, respecting quoted strings.
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			if i == 0 || line[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case '#', ';':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitInst separates a mnemonic from its comma-separated operands.
+func splitInst(line string) (op string, operands []string) {
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return line, nil
+	}
+	return line[:i], splitOperands(line[i+1:])
+}
+
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// parseInt accepts decimal, hex (0x), octal (0o), binary (0b), and char
+// ('c') literals.
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body, err := strconv.Unquote(s)
+		if err != nil || len(body) != 1 {
+			return 0, fmt.Errorf("bad character literal %s", s)
+		}
+		return int64(body[0]), nil
+	}
+	return strconv.ParseInt(s, 0, 64)
+}
+
+// regNames maps register operand spellings to indices.
+var regNames = func() map[string]uint8 {
+	m := map[string]uint8{
+		"zero": isa.RegZero,
+		"sp":   isa.RegSP,
+		"ra":   isa.RegRA,
+		"rv":   isa.RegRV,
+		"a0":   isa.RegArg0,
+		"a1":   isa.RegArg1,
+		"a2":   isa.RegArg2,
+		"a3":   isa.RegArg3,
+	}
+	for i := 0; i < isa.NumRegs; i++ {
+		m[fmt.Sprintf("r%d", i)] = uint8(i)
+	}
+	return m
+}()
+
+func parseGPR(s string) (uint8, error) {
+	if r, ok := regNames[s]; ok {
+		return r, nil
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseMMX(s string) (uint8, error) {
+	if len(s) == 2 && s[0] == 'm' && s[1] >= '0' && s[1] <= '7' {
+		return s[1] - '0', nil
+	}
+	return 0, fmt.Errorf("bad MMX register %q", s)
+}
+
+// parseMem parses "off(base)" or "(base)" or "label" address operands. A
+// bare label yields base r0 with the label's address as offset when it fits;
+// otherwise an error (use la first).
+func (a *assembler) parseMem(s string) (base uint8, off int32, err error) {
+	open := strings.Index(s, "(")
+	if open < 0 {
+		v, verr := a.value(s)
+		if verr != nil {
+			return 0, 0, verr
+		}
+		if v < isa.MinImm || v > isa.MaxImm {
+			return 0, 0, fmt.Errorf("address %#x does not fit an immediate; use la", v)
+		}
+		return isa.RegZero, int32(v), nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr != "" {
+		v, verr := a.value(offStr)
+		if verr != nil {
+			return 0, 0, verr
+		}
+		if v < isa.MinImm || v > isa.MaxImm {
+			return 0, 0, fmt.Errorf("offset %d out of range", v)
+		}
+		off = int32(v)
+	}
+	base, err = parseGPR(strings.TrimSpace(s[open+1 : len(s)-1]))
+	return base, off, err
+}
+
+// expand turns one source instruction (possibly a pseudo-instruction) into
+// encoded isa.Inst values.
+func (a *assembler) expand(st stmt) ([]isa.Inst, error) {
+	fail := func(format string, args ...any) ([]isa.Inst, error) {
+		return nil, &Error{st.line, fmt.Sprintf("%s: %s", st.op, fmt.Sprintf(format, args...))}
+	}
+	ops := st.operands
+	need := func(n int) error {
+		if len(ops) != n {
+			return &Error{st.line, fmt.Sprintf("%s: want %d operands, have %d", st.op, n, len(ops))}
+		}
+		return nil
+	}
+
+	switch st.op {
+	case "nop":
+		return []isa.Inst{{Op: isa.OpAddi, A: 0, B: 0}}, nil
+	case "move":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseGPR(ops[0])
+		rs, err2 := parseGPR(ops[1])
+		if err1 != nil || err2 != nil {
+			return fail("bad registers")
+		}
+		return []isa.Inst{{Op: isa.OpAddi, A: rd, B: rs}}, nil
+	case "clear":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rd, err := parseGPR(ops[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		return []isa.Inst{{Op: isa.OpAddi, A: rd, B: 0}}, nil
+	case "not":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseGPR(ops[0])
+		rs, err2 := parseGPR(ops[1])
+		if err1 != nil || err2 != nil {
+			return fail("bad registers")
+		}
+		return []isa.Inst{{Op: isa.OpNor, A: rd, B: rs, C: 0}}, nil
+	case "neg":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseGPR(ops[0])
+		rs, err2 := parseGPR(ops[1])
+		if err1 != nil || err2 != nil {
+			return fail("bad registers")
+		}
+		return []isa.Inst{{Op: isa.OpSub, A: rd, B: 0, C: rs}}, nil
+	case "b":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		off, err := a.branchOffset(st, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.OpBeq, A: 0, B: 0, Imm: off}}, nil
+	case "bgt", "ble":
+		// a > b  ==  b < a;  a <= b  ==  b >= a: swap the operands.
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		ra, err1 := parseGPR(ops[0])
+		rb, err2 := parseGPR(ops[1])
+		if err1 != nil || err2 != nil {
+			return fail("bad registers")
+		}
+		off, err := a.branchOffset(st, ops[2])
+		if err != nil {
+			return nil, err
+		}
+		op := isa.OpBlt
+		if st.op == "ble" {
+			op = isa.OpBge
+		}
+		return []isa.Inst{{Op: op, A: rb, B: ra, Imm: off}}, nil
+	case "li", "la":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseGPR(ops[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		v, err := a.value(ops[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		u := uint32(v)
+		// lui fills bits 16-31; ori fills bits 0-15. Always two
+		// instructions so pass-1 sizing is stable.
+		return []isa.Inst{
+			{Op: isa.OpLui, A: rd, B: 0, Imm: int32(int16(u >> 16))},
+			{Op: isa.OpOri, A: rd, B: rd, Imm: int32(int16(u & 0xFFFF))},
+		}, nil
+	}
+
+	op := isa.ByName(st.op)
+	if op == isa.OpInvalid {
+		return fail("unknown instruction")
+	}
+	info := op.Info()
+
+	switch op {
+	case isa.OpHalt, isa.OpSyscall:
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: op}}, nil
+	case isa.OpJ, isa.OpJal:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		v, err := a.value(ops[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		if v%4 != 0 {
+			return fail("jump target %#x not word-aligned", v)
+		}
+		return []isa.Inst{{Op: op, Imm: int32(v / 4)}}, nil
+	case isa.OpJr:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		r, err := parseGPR(ops[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		return []isa.Inst{{Op: op, A: r}}, nil
+	case isa.OpJalr:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseGPR(ops[0])
+		rs, err2 := parseGPR(ops[1])
+		if err1 != nil || err2 != nil {
+			return fail("bad registers")
+		}
+		return []isa.Inst{{Op: op, A: rd, B: rs}}, nil
+	case isa.OpLui:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseGPR(ops[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		v, err := a.value(ops[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		return []isa.Inst{{Op: op, A: rd, Imm: int32(v)}}, nil
+	case isa.OpMovdGM:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		md, err1 := parseMMX(ops[0])
+		rs, err2 := parseGPR(ops[1])
+		if err1 != nil || err2 != nil {
+			return fail("want movd.gm mN, rN")
+		}
+		return []isa.Inst{{Op: op, A: md, B: rs}}, nil
+	case isa.OpMovdMG:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseGPR(ops[0])
+		ms, err2 := parseMMX(ops[1])
+		if err1 != nil || err2 != nil {
+			return fail("want movd.mg rN, mN")
+		}
+		return []isa.Inst{{Op: op, A: rd, B: ms}}, nil
+	}
+
+	if info.Load || info.Store {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		var rd uint8
+		var err error
+		if info.MMX {
+			rd, err = parseMMX(ops[0])
+		} else {
+			rd, err = parseGPR(ops[0])
+		}
+		if err != nil {
+			return fail("%v", err)
+		}
+		base, off, err := a.parseMem(ops[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		return []isa.Inst{{Op: op, A: rd, B: base, Imm: off}}, nil
+	}
+
+	switch op {
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBltu, isa.OpBgeu:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		ra, err1 := parseGPR(ops[0])
+		rb, err2 := parseGPR(ops[1])
+		if err1 != nil || err2 != nil {
+			return fail("bad registers")
+		}
+		off, err := a.branchOffset(st, ops[2])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: op, A: ra, B: rb, Imm: off}}, nil
+	}
+
+	switch info.Format {
+	case isa.FmtF3:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		parse := parseGPR
+		if info.MMX {
+			parse = parseMMX
+		}
+		ra, err1 := parse(ops[0])
+		rb, err2 := parse(ops[1])
+		rc, err3 := parse(ops[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fail("bad registers")
+		}
+		return []isa.Inst{{Op: op, A: ra, B: rb, C: rc}}, nil
+	case isa.FmtFI:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		ra, err1 := parseGPR(ops[0])
+		rb, err2 := parseGPR(ops[1])
+		if err1 != nil || err2 != nil {
+			return fail("bad registers")
+		}
+		v, err := a.value(ops[2])
+		if err != nil {
+			return fail("%v", err)
+		}
+		if v < isa.MinImm || v > isa.MaxImm {
+			return fail("immediate %d out of range", v)
+		}
+		return []isa.Inst{{Op: op, A: ra, B: rb, Imm: int32(v)}}, nil
+	}
+	return fail("unsupported format")
+}
+
+// branchOffset computes the PC-relative word offset to a label or literal.
+// The offset is relative to the instruction after the branch.
+func (a *assembler) branchOffset(st stmt, target string) (int32, error) {
+	v, err := a.value(target)
+	if err != nil {
+		return 0, &Error{st.line, err.Error()}
+	}
+	delta := v - int64(st.addr) - 4
+	if delta%4 != 0 {
+		return 0, &Error{st.line, fmt.Sprintf("branch target %#x not word-aligned", v)}
+	}
+	words := delta / 4
+	if words < isa.MinImm || words > isa.MaxImm {
+		return 0, &Error{st.line, fmt.Sprintf("branch to %s out of range (%d words)", target, words)}
+	}
+	return int32(words), nil
+}

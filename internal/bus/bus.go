@@ -1,0 +1,70 @@
+// Package bus models the processor-memory bus assumed by the Active Pages
+// paper: 32 bits of data transferred between memory and cache every 10 ns
+// (Section 3, Table 1 discussion).
+//
+// The model charges transfer time proportional to bytes moved and counts
+// traffic, which is what the paper's sensitivity analyses depend on. It does
+// not model arbitration between multiple initiators; the simulated system
+// has a single processor.
+package bus
+
+import "activepages/internal/sim"
+
+// Config describes the bus.
+type Config struct {
+	// WordBytes is the width of one bus beat in bytes (paper: 4).
+	WordBytes uint64
+	// BeatTime is the duration of one beat (paper: 10 ns).
+	BeatTime sim.Duration
+}
+
+// DefaultConfig returns the paper's bus: 32 bits per 10 ns.
+func DefaultConfig() Config {
+	return Config{WordBytes: 4, BeatTime: 10 * sim.Nanosecond}
+}
+
+// Stats accumulates bus activity.
+type Stats struct {
+	Transfers uint64 // discrete transfer operations
+	Bytes     uint64 // total bytes moved
+	BusyTime  sim.Duration
+}
+
+// Bus is the shared processor-memory interconnect.
+type Bus struct {
+	cfg   Config
+	Stats Stats
+}
+
+// New returns a bus with the given configuration.
+func New(cfg Config) *Bus {
+	if cfg.WordBytes == 0 {
+		cfg.WordBytes = 4
+	}
+	if cfg.BeatTime == 0 {
+		cfg.BeatTime = 10 * sim.Nanosecond
+	}
+	return &Bus{cfg: cfg}
+}
+
+// Config returns the bus configuration.
+func (b *Bus) Config() Config { return b.cfg }
+
+// TransferTime returns the time to move n bytes across the bus, rounded up
+// to whole beats, and records the traffic.
+func (b *Bus) TransferTime(n uint64) sim.Duration {
+	if n == 0 {
+		return 0
+	}
+	beats := (n + b.cfg.WordBytes - 1) / b.cfg.WordBytes
+	d := sim.Duration(beats) * b.cfg.BeatTime
+	b.Stats.Transfers++
+	b.Stats.Bytes += n
+	b.Stats.BusyTime += d
+	return d
+}
+
+// PeakBytesPerSecond reports the bus's peak bandwidth.
+func (b *Bus) PeakBytesPerSecond() float64 {
+	return float64(b.cfg.WordBytes) / b.cfg.BeatTime.Seconds()
+}

@@ -1,0 +1,228 @@
+// Package cache models set-associative write-back caches with LRU
+// replacement, matching the hierarchy simulated in the Active Pages paper:
+// split 64 KB 2-way L1 instruction and data caches over a unified 1 MB
+// 4-way L2.
+//
+// The model is a timing/occupancy model: it tracks which lines are resident,
+// dirty bits, and LRU order, and reports hits and misses. Data contents live
+// in the backing store (package mem); the cache never copies bytes.
+package cache
+
+import (
+	"fmt"
+)
+
+// Config describes one cache level.
+type Config struct {
+	Name      string // for statistics, e.g. "L1D"
+	SizeBytes uint64 // total capacity; power of two
+	LineBytes uint64 // line size; power of two
+	Assoc     int    // ways per set; >= 1
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes == 0 || c.SizeBytes&(c.SizeBytes-1) != 0:
+		return fmt.Errorf("cache %s: size %d not a power of two", c.Name, c.SizeBytes)
+	case c.LineBytes == 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineBytes)
+	case c.Assoc < 1:
+		return fmt.Errorf("cache %s: associativity %d < 1", c.Name, c.Assoc)
+	case c.SizeBytes < c.LineBytes*uint64(c.Assoc):
+		return fmt.Errorf("cache %s: size %d too small for %d ways of %d-byte lines",
+			c.Name, c.SizeBytes, c.Assoc, c.LineBytes)
+	}
+	return nil
+}
+
+// Stats accumulates access counts for one cache.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Writebacks  uint64 // dirty lines evicted
+	Invalidates uint64 // lines dropped by external invalidation
+}
+
+// Accesses returns total accesses.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// MissRate returns misses/accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Misses) / float64(a)
+	}
+	return 0
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lru is a per-set sequence number; the smallest is the victim.
+	lru uint64
+}
+
+// Cache is one level of a write-back, write-allocate cache.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	nsets uint64
+	clock uint64 // LRU sequence source
+	Stats Stats
+}
+
+// New builds a cache from cfg. It panics on an invalid configuration;
+// configurations come from code, not user input.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.SizeBytes / cfg.LineBytes / uint64(cfg.Assoc)
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*uint64(cfg.Assoc))
+	for i := range sets {
+		sets[i] = backing[uint64(i)*uint64(cfg.Assoc) : (uint64(i)+1)*uint64(cfg.Assoc)]
+	}
+	return &Cache{cfg: cfg, sets: sets, nsets: nsets}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() uint64 { return c.cfg.LineBytes }
+
+func (c *Cache) locate(addr uint64) (set uint64, tag uint64) {
+	lineAddr := addr / c.cfg.LineBytes
+	return lineAddr % c.nsets, lineAddr / c.nsets
+}
+
+// Result describes the outcome of a single-line access.
+type Result struct {
+	Hit bool
+	// WritebackAddr is the address of a dirty victim line that must be
+	// written back, valid only when Writeback is true.
+	Writeback     bool
+	WritebackAddr uint64
+}
+
+// Access performs a read or write of the line containing addr and returns
+// whether it hit, allocating the line on miss (write-allocate) and reporting
+// any dirty eviction. Callers that need multi-line accesses should iterate
+// line by line (see AccessRange).
+func (c *Cache) Access(addr uint64, write bool) Result {
+	set, tag := c.locate(addr)
+	c.clock++
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = c.clock
+			if write {
+				ways[i].dirty = true
+			}
+			c.Stats.Hits++
+			return Result{Hit: true}
+		}
+	}
+	c.Stats.Misses++
+	// Choose a victim: an invalid way if any, else LRU.
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	res := Result{}
+	if ways[victim].valid && ways[victim].dirty {
+		res.Writeback = true
+		res.WritebackAddr = c.lineAddr(set, ways[victim].tag)
+		c.Stats.Writebacks++
+	}
+	ways[victim] = line{tag: tag, valid: true, dirty: write, lru: c.clock}
+	return res
+}
+
+// lineAddr reconstructs the base address of a line from set and tag.
+func (c *Cache) lineAddr(set, tag uint64) uint64 {
+	return (tag*c.nsets + set) * c.cfg.LineBytes
+}
+
+// Lookup reports whether the line containing addr is resident without
+// touching LRU state or statistics.
+func (c *Cache) Lookup(addr uint64) bool {
+	set, tag := c.locate(addr)
+	for _, w := range c.sets[set] {
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// LinesIn returns the number of distinct cache lines spanned by [addr,
+// addr+size).
+func (c *Cache) LinesIn(addr, size uint64) uint64 {
+	if size == 0 {
+		return 0
+	}
+	first := addr / c.cfg.LineBytes
+	last := (addr + size - 1) / c.cfg.LineBytes
+	return last - first + 1
+}
+
+// InvalidateRange drops any lines overlapping [addr, addr+size), discarding
+// dirty data (the invalidator — an Active-Page function — is the new owner
+// of those bytes). Returns the number of lines dropped.
+func (c *Cache) InvalidateRange(addr, size uint64) uint64 {
+	if size == 0 {
+		return 0
+	}
+	var dropped uint64
+	first := addr &^ (c.cfg.LineBytes - 1)
+	for a := first; a < addr+size; a += c.cfg.LineBytes {
+		set, tag := c.locate(a)
+		ways := c.sets[set]
+		for i := range ways {
+			if ways[i].valid && ways[i].tag == tag {
+				ways[i] = line{}
+				dropped++
+				c.Stats.Invalidates++
+				break
+			}
+		}
+	}
+	return dropped
+}
+
+// Flush invalidates the entire cache, returning the number of dirty lines
+// that would have been written back.
+func (c *Cache) Flush() uint64 {
+	var dirty uint64
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			if c.sets[s][i].valid && c.sets[s][i].dirty {
+				dirty++
+			}
+			c.sets[s][i] = line{}
+		}
+	}
+	return dirty
+}
+
+// ResidentLines counts valid lines, mostly for tests.
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			if c.sets[s][i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

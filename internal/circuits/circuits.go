@@ -1,0 +1,165 @@
+// Package circuits defines the seven application-specific Active-Page
+// circuits the paper synthesizes in Section 6 (Table 3): the three STL
+// array primitives, the database search engine, the dynamic-programming
+// cell, the sparse-matrix gather engine, and the MPEG-MMX datapath.
+//
+// Each constructor returns a behavioral design for the logic estimator.
+// The shapes follow the paper's descriptions: every circuit has the DRAM
+// subarray memory port and a control FSM, plus the application datapath.
+package circuits
+
+import "activepages/internal/logic"
+
+// ArrayDelete is the array-delete primitive: a state machine that streams
+// the tail of the array one word at a time to a lower address, closing the
+// gap left by the deleted elements.
+func ArrayDelete() *logic.Design {
+	d := logic.NewDesign("Array-delete")
+	d.OnPath(logic.Primitive{Kind: logic.Counter, Width: 20, Name: "src-addr"})
+	d.OnPath(logic.Primitive{Kind: logic.Adder, Width: 16, Name: "dst-offset"})
+	d.OnPath(logic.Primitive{Kind: logic.CompareMag, Width: 20, Name: "end-detect"})
+	d.Off(logic.Primitive{Kind: logic.MemPort, Name: "subarray-port"})
+	d.Off(logic.Primitive{Kind: logic.FSM, Ways: 5, Name: "control"})
+	d.Off(logic.Primitive{Kind: logic.Register, Width: 16, Name: "stream-buffer"})
+	return d
+}
+
+// ArrayInsert is the array-insert primitive: the mirror image of delete,
+// streaming the tail upward (highest address first) to open a gap.
+func ArrayInsert() *logic.Design {
+	d := logic.NewDesign("Array-insert")
+	d.OnPath(logic.Primitive{Kind: logic.Counter, Width: 20, Name: "src-addr"})
+	d.OnPath(logic.Primitive{Kind: logic.Adder, Width: 16, Name: "dst-offset"})
+	d.Off(logic.Primitive{Kind: logic.MemPort, Name: "subarray-port"})
+	d.Off(logic.Primitive{Kind: logic.FSM, Ways: 5, Name: "control"})
+	d.Off(logic.Primitive{Kind: logic.Register, Width: 32, Name: "stream-buffer"})
+	return d
+}
+
+// ArrayFind is the array find/count primitive: a binary comparison circuit
+// that scans the page and counts elements equal to (or bounded by) a key.
+func ArrayFind() *logic.Design {
+	d := logic.NewDesign("Array-find")
+	d.OnPath(logic.Primitive{Kind: logic.CompareEq, Width: 32, Name: "key-equal"})
+	d.OnPath(logic.Primitive{Kind: logic.CompareMag, Width: 32, Name: "key-bound"})
+	d.OnPath(logic.Primitive{Kind: logic.Counter, Width: 16, Name: "match-count"})
+	d.Off(logic.Primitive{Kind: logic.MemPort, Name: "subarray-port"})
+	d.Off(logic.Primitive{Kind: logic.FSM, Ways: 6, Name: "control"})
+	d.Off(logic.Primitive{Kind: logic.Counter, Width: 20, Name: "scan-addr"})
+	d.Off(logic.Primitive{Kind: logic.Register, Width: 16, Name: "element-buffer"})
+	return d
+}
+
+// Database is the unindexed-query search engine: a field-walking string
+// matcher that compares four bytes per cycle against the query literal and
+// counts exact record matches.
+func Database() *logic.Design {
+	d := logic.NewDesign("Database")
+	d.OnPath(logic.Primitive{Kind: logic.CompareEq, Width: 32, Name: "string-compare"})
+	d.OnPath(logic.Primitive{Kind: logic.Mux, Width: 16, Ways: 2, Name: "field-select"})
+	d.OnPath(logic.Primitive{Kind: logic.Counter, Width: 16, Name: "match-count"})
+	d.Off(logic.Primitive{Kind: logic.MemPort, Name: "subarray-port"})
+	d.Off(logic.Primitive{Kind: logic.FSM, Ways: 8, Name: "record-walker"})
+	d.Off(logic.Primitive{Kind: logic.Counter, Width: 20, Name: "record-addr"})
+	d.Off(logic.Primitive{Kind: logic.Register, Width: 16, Name: "field-length"})
+	return d
+}
+
+// DynamicProg is the LCS dynamic-programming cell: computes the MIN/MAX
+// recurrence for one table cell per cycle along the wavefront.
+func DynamicProg() *logic.Design {
+	d := logic.NewDesign("Dynamic Prog")
+	d.OnPath(logic.Primitive{Kind: logic.CompareEq, Width: 8, Name: "symbol-match"})
+	d.OnPath(logic.Primitive{Kind: logic.MinMax, Width: 16, Name: "recurrence-max"})
+	d.OnPath(logic.Primitive{Kind: logic.Adder, Width: 16, Name: "diagonal-inc"})
+	d.Off(logic.Primitive{Kind: logic.MemPort, Name: "subarray-port"})
+	d.Off(logic.Primitive{Kind: logic.FSM, Ways: 8, Name: "wavefront-control"})
+	d.Off(logic.Primitive{Kind: logic.Counter, Width: 20, Name: "cell-addr"})
+	d.Off(logic.Primitive{Kind: logic.Counter, Width: 16, Name: "row-count"})
+	d.Off(logic.Primitive{Kind: logic.Register, Width: 16, Name: "west-cell"})
+	d.Off(logic.Primitive{Kind: logic.Register, Width: 16, Name: "north-cell"})
+	return d
+}
+
+// Matrix is the sparse-matrix compare-gather engine: walks two index
+// vectors, compares indices, and packs matching data values into
+// cache-line-sized output blocks for the processor to multiply.
+func Matrix() *logic.Design {
+	d := logic.NewDesign("Matrix")
+	d.OnPath(logic.Primitive{Kind: logic.CompareEq, Width: 32, Name: "index-equal"})
+	d.OnPath(logic.Primitive{Kind: logic.CompareMag, Width: 32, Name: "index-advance"})
+	d.OnPath(logic.Primitive{Kind: logic.Mux, Width: 32, Ways: 2, Name: "gather-select"})
+	d.OnPath(logic.Primitive{Kind: logic.Adder, Width: 20, Name: "pack-addr"})
+	d.Off(logic.Primitive{Kind: logic.MemPort, Name: "subarray-port"})
+	d.Off(logic.Primitive{Kind: logic.FSM, Ways: 10, Name: "gather-control"})
+	d.Off(logic.Primitive{Kind: logic.Counter, Width: 20, Name: "row-index-addr"})
+	d.Off(logic.Primitive{Kind: logic.Counter, Width: 20, Name: "col-index-addr"})
+	d.Off(logic.Primitive{Kind: logic.Register, Width: 32, Name: "pack-buffer"})
+	return d
+}
+
+// MPEGMMX is the RADram MMX datapath: two 16-bit saturating-adder lanes
+// applied across the page per wide-MMX instruction, with a block-address
+// counter.
+func MPEGMMX() *logic.Design {
+	d := logic.NewDesign("MPEG-MMX")
+	d.OnPath(logic.Primitive{Kind: logic.SaturatingAdder, Width: 16, Name: "lane0"})
+	d.OnPath(logic.Primitive{Kind: logic.SaturatingAdder, Width: 16, Name: "lane1"})
+	d.Off(logic.Primitive{Kind: logic.MemPort, Name: "subarray-port"})
+	d.Off(logic.Primitive{Kind: logic.FSM, Ways: 4, Name: "block-control"})
+	d.Off(logic.Primitive{Kind: logic.Counter, Width: 20, Name: "block-addr"})
+	d.Off(logic.Primitive{Kind: logic.Register, Width: 16, Name: "operand-latch"})
+	return d
+}
+
+// All returns the seven Table 3 designs in the paper's row order.
+func All() []*logic.Design {
+	return []*logic.Design{
+		ArrayDelete(),
+		ArrayInsert(),
+		ArrayFind(),
+		Database(),
+		DynamicProg(),
+		Matrix(),
+		MPEGMMX(),
+	}
+}
+
+// Table3Paper holds the paper's reported values for each design, used by
+// tests and EXPERIMENTS.md to compare against our synthesis estimates.
+type Table3Row struct {
+	Name    string
+	LEs     int
+	SpeedNs float64
+	CodeKB  float64
+}
+
+// PaperTable3 is Table 3 of the paper, verbatim.
+func PaperTable3() []Table3Row {
+	return []Table3Row{
+		{"Array-delete", 109, 29.0, 2.7},
+		{"Array-insert", 115, 26.2, 2.9},
+		{"Array-find", 141, 32.1, 3.5},
+		{"Database", 142, 35.4, 3.5},
+		{"Dynamic Prog", 179, 39.2, 4.5},
+		{"Matrix", 205, 45.3, 5.6},
+		{"MPEG-MMX", 131, 34.6, 3.3},
+	}
+}
+
+// Median is the nine-value median-of-neighbors circuit of the image study
+// (Section 5.1). The paper reports no Table 3 row for it; this is the
+// "custom circuit designed for sorting nine short integer values" the text
+// describes, with three time-multiplexed compare-exchange units stepping
+// the 19-exchange median network.
+func Median() *logic.Design {
+	d := logic.NewDesign("Median")
+	d.OnPath(logic.Primitive{Kind: logic.MinMax, Width: 16, Name: "cx0"})
+	d.OnPath(logic.Primitive{Kind: logic.MinMax, Width: 16, Name: "cx1"})
+	d.OnPath(logic.Primitive{Kind: logic.MinMax, Width: 16, Name: "cx2"})
+	d.Off(logic.Primitive{Kind: logic.MemPort, Name: "subarray-port"})
+	d.Off(logic.Primitive{Kind: logic.FSM, Ways: 8, Name: "window-control"})
+	d.Off(logic.Primitive{Kind: logic.Counter, Width: 20, Name: "pixel-addr"})
+	d.Off(logic.Primitive{Kind: logic.Register, Width: 16, Name: "window-latch"})
+	return d
+}

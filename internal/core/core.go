@@ -1,0 +1,400 @@
+// Package core implements the Active Pages computation model — the paper's
+// primary contribution. An Active Page is a (super)page of data plus a set
+// of bound functions that the memory system executes next to the data.
+//
+// The interface follows Section 2 of the paper:
+//
+//   - Alloc corresponds to AP_alloc(group_id, vaddr): it allocates an
+//     Active Page at a virtual address and places it in a page group.
+//   - Bind corresponds to AP_bind(group_id, AP_functions): it associates a
+//     set of functions with every page of a group. Binding is subject to
+//     the implementation's area budget (256 LEs per page for RADram), so
+//     applications re-bind between phases to make room, exactly as the
+//     paper describes.
+//   - Activation is a series of memory-mapped writes: Activate charges the
+//     processor the dispatch work and the uncached control-word writes,
+//     then starts the bound function on the page's data.
+//   - Synchronization variables are modeled by Wait/Poll: the processor
+//     polls a page's sync variable and stalls — accounted as
+//     processor-memory non-overlap time — until the page completes.
+//   - Inter-page references use the processor-mediated mechanism of
+//     Section 3: a function touching a non-local address raises an
+//     interrupt and the processor copies data between pages.
+//
+// Execution is functional-plus-timing: a function's Run really transforms
+// the bytes of the simulated page (so application results are checkable),
+// while its returned logic-cycle count, scaled by the logic clock, decides
+// when the results become architecturally visible.
+package core
+
+import (
+	"fmt"
+
+	"activepages/internal/logic"
+	"activepages/internal/mem"
+	"activepages/internal/memsys"
+	"activepages/internal/proc"
+	"activepages/internal/sim"
+)
+
+// GroupID names a page group (the paper's group_id).
+type GroupID string
+
+// Config describes an Active-Page memory system.
+type Config struct {
+	// PageBytes is the superpage size (paper: 512 KB).
+	PageBytes uint64
+	// LogicDivisor is the ratio of CPU clock to reconfigurable-logic clock.
+	// The Table 1 reference is 10 (1 GHz CPU, 100 MHz logic); Figure 9
+	// sweeps it from 2 to 100.
+	LogicDivisor uint64
+	// ActivationWords is the number of memory-mapped control words the
+	// processor writes to dispatch one activation (function selector plus
+	// arguments).
+	ActivationWords int
+	// DispatchInstructions is the processor work to marshal one activation
+	// request (argument computation, loop overhead in the runtime library).
+	DispatchInstructions uint64
+	// InterruptInstructions is the processor overhead to take one
+	// inter-page service interrupt and set up the copy.
+	InterruptInstructions uint64
+	// ChargeBind, when set, charges reconfiguration time for every page at
+	// each Bind (the paper's 2-4x page-replacement cost discussion); the
+	// reference configuration treats binding as amortized.
+	ChargeBind bool
+}
+
+// DefaultConfig returns the RADram reference parameters of Table 1.
+func DefaultConfig() Config {
+	return Config{
+		PageBytes:             mem.DefaultPageBytes,
+		LogicDivisor:          10,
+		ActivationWords:       4,
+		DispatchInstructions:  60,
+		InterruptInstructions: 200,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.PageBytes == 0 || c.PageBytes&(c.PageBytes-1) != 0 {
+		return fmt.Errorf("core: page size %d not a power of two", c.PageBytes)
+	}
+	if c.LogicDivisor == 0 {
+		return fmt.Errorf("core: logic divisor must be >= 1")
+	}
+	if c.ActivationWords < 1 {
+		return fmt.Errorf("core: at least one activation word is required")
+	}
+	return nil
+}
+
+// Result is what a Function's Run reports back to the runtime.
+type Result struct {
+	// LogicCycles is how many cycles of the page's reconfigurable logic
+	// the invocation consumes.
+	LogicCycles uint64
+	// ReadyAt, when nonzero, is an additional lower bound on when the
+	// computation may start (dependencies delivered by mediated copies).
+	ReadyAt sim.Time
+}
+
+// Function is one member of an AP_functions set.
+type Function interface {
+	// Name selects the function at activation time.
+	Name() string
+	// Design returns the function's circuit for synthesis and area
+	// accounting.
+	Design() *logic.Design
+	// Run performs the page computation triggered by an activation,
+	// mutating page data through ctx and returning its cost.
+	Run(ctx *PageContext) (Result, error)
+}
+
+// Page is one Active Page.
+type Page struct {
+	Index uint64 // superpage number
+	Base  uint64 // first byte address
+	group *Group
+
+	doneAt sim.Time
+	// written is the bounding range of bytes the current activation wrote,
+	// for cache invalidation.
+	written mem.Range
+
+	// Accounting for Table 4.
+	Activations    uint64
+	ActivationTime sim.Duration // processor time spent dispatching to this page (T_A)
+	BusyTime       sim.Duration // logic time consumed (T_C)
+}
+
+// DoneAt returns when the page's last activation completes.
+func (p *Page) DoneAt() sim.Time { return p.doneAt }
+
+// Group returns the page's group id.
+func (p *Page) Group() GroupID { return p.group.id }
+
+// Group is a set of pages operating on the same data.
+type Group struct {
+	id    GroupID
+	fns   map[string]Function
+	pages []*Page
+}
+
+// Pages returns the group's pages in allocation order.
+func (g *Group) Pages() []*Page { return g.pages }
+
+// Stats accumulates system-wide Active-Page activity.
+type Stats struct {
+	Activations        uint64
+	InterPageTransfers uint64
+	InterPageBytes     uint64
+	Binds              uint64
+	LogicBusy          sim.Duration
+	ReconfigTime       sim.Duration
+}
+
+// System is the Active-Page memory system attached to one processor.
+type System struct {
+	cfg        Config
+	cpu        *proc.CPU
+	store      *mem.Store
+	hier       *memsys.Hierarchy
+	geom       mem.Geometry
+	logicClock sim.Clock
+
+	groups map[GroupID]*Group
+	pages  map[uint64]*Page
+
+	// pendingMediation is processor work owed for inter-page service
+	// interrupts, paid at the processor's next wait.
+	pendingMediation sim.Duration
+
+	Stats Stats
+}
+
+// NewSystem builds an Active-Page memory system sharing the CPU's store and
+// hierarchy.
+func NewSystem(cfg Config, cpu *proc.CPU) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	geom, err := mem.NewGeometry(cfg.PageBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		cfg:        cfg,
+		cpu:        cpu,
+		store:      cpu.Store(),
+		hier:       cpu.Hierarchy(),
+		geom:       geom,
+		logicClock: sim.NewClockPeriod(cpu.Clock().Period() * sim.Duration(cfg.LogicDivisor)),
+		groups:     make(map[GroupID]*Group),
+		pages:      make(map[uint64]*Page),
+	}, nil
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// CPU returns the attached processor.
+func (s *System) CPU() *proc.CPU { return s.cpu }
+
+// LogicClock returns the reconfigurable-logic clock.
+func (s *System) LogicClock() sim.Clock { return s.logicClock }
+
+// Geometry returns the superpage geometry.
+func (s *System) Geometry() mem.Geometry { return s.geom }
+
+// Alloc allocates an Active Page at vaddr into group id (AP_alloc). The
+// address must be superpage-aligned and not already allocated.
+func (s *System) Alloc(id GroupID, vaddr uint64) (*Page, error) {
+	if s.geom.PageOffset(vaddr) != 0 {
+		return nil, fmt.Errorf("core: alloc %s: address %#x not page-aligned", id, vaddr)
+	}
+	idx := s.geom.PageIndex(vaddr)
+	if _, taken := s.pages[idx]; taken {
+		return nil, fmt.Errorf("core: alloc %s: page %d already allocated", id, idx)
+	}
+	g := s.groups[id]
+	if g == nil {
+		g = &Group{id: id, fns: make(map[string]Function)}
+		s.groups[id] = g
+	}
+	p := &Page{Index: idx, Base: vaddr, group: g}
+	g.pages = append(g.pages, p)
+	s.pages[idx] = p
+	return p, nil
+}
+
+// AllocRange allocates n consecutive pages starting at vaddr.
+func (s *System) AllocRange(id GroupID, vaddr uint64, n uint64) ([]*Page, error) {
+	pages := make([]*Page, 0, n)
+	for i := uint64(0); i < n; i++ {
+		p, err := s.Alloc(id, vaddr+i*s.cfg.PageBytes)
+		if err != nil {
+			return nil, err
+		}
+		pages = append(pages, p)
+	}
+	return pages, nil
+}
+
+// Group returns a page group by id.
+func (s *System) Group(id GroupID) (*Group, bool) {
+	g, ok := s.groups[id]
+	return g, ok
+}
+
+// PageAt returns the Active Page containing addr, if allocated.
+func (s *System) PageAt(addr uint64) (*Page, bool) {
+	p, ok := s.pages[s.geom.PageIndex(addr)]
+	return p, ok
+}
+
+// synthesize maps a function's design to the page fabric.
+func (s *System) synthesize(fn Function) logic.Report {
+	return logic.Synthesize(fn.Design())
+}
+
+// Bind associates a function set with a group (AP_bind), replacing any
+// previous set. The combined area of the set must fit the per-page LE
+// budget; applications with larger repertoires re-bind between phases.
+func (s *System) Bind(id GroupID, fns ...Function) error {
+	g := s.groups[id]
+	if g == nil {
+		return fmt.Errorf("core: bind: unknown group %q", id)
+	}
+	total := 0
+	for _, fn := range fns {
+		total += s.synthesize(fn).LEs
+	}
+	if total > logic.PageLEBudget {
+		return fmt.Errorf("core: bind %s: function set needs %d LEs, budget is %d (re-bind a smaller set)",
+			id, total, logic.PageLEBudget)
+	}
+	g.fns = make(map[string]Function, len(fns))
+	var reconfig sim.Duration
+	for _, fn := range fns {
+		g.fns[fn.Name()] = fn
+		reconfig += logic.ReconfigurationTime(s.synthesize(fn), s.logicClock)
+	}
+	s.Stats.Binds++
+	if s.cfg.ChargeBind && len(g.pages) > 0 {
+		// Pages reconfigure in parallel; the processor streams one
+		// bitstream onto the memory bus and all pages of the group latch
+		// it. Charge one reconfiguration interval as non-overlap.
+		s.Stats.ReconfigTime += reconfig
+		s.cpu.StallUntil(s.cpu.Now() + reconfig)
+	}
+	return nil
+}
+
+// Activate dispatches function fnName on page p with the given arguments.
+// It models the paper's activation: processor-side marshalling plus
+// memory-mapped control writes, then page computation in the logic clock
+// domain. The call returns as soon as the dispatch is charged; the page
+// computes "in the background" until its completion time.
+func (s *System) Activate(p *Page, fnName string, args ...uint64) error {
+	fn := p.group.fns[fnName]
+	if fn == nil {
+		return fmt.Errorf("core: activate page %d: function %q not bound to group %q",
+			p.Index, fnName, p.group.id)
+	}
+	before := s.cpu.Now()
+
+	// Processor-side dispatch: marshalling plus control-word writes into
+	// the page's synchronization area.
+	s.cpu.Compute(s.cfg.DispatchInstructions)
+	words := s.cfg.ActivationWords
+	if len(args)+1 > words {
+		words = len(args) + 1
+	}
+	ctl := p.Base // control block lives at the head of the page's sync area
+	for w := 0; w < words; w++ {
+		s.cpu.UncachedStoreU32(ctl+uint64(w)*4, 0)
+	}
+
+	// Page-side execution: functional now, visible at completion time.
+	ctx := &PageContext{sys: s, page: p, Args: args}
+	res, err := fn.Run(ctx)
+	if err != nil {
+		return fmt.Errorf("core: activate page %d (%s): %w", p.Index, fnName, err)
+	}
+
+	start := s.cpu.Now()
+	if p.doneAt > start {
+		start = p.doneAt // page logic is busy with a previous activation
+	}
+	if res.ReadyAt > start {
+		start = res.ReadyAt // waiting on mediated inter-page data
+	}
+	busy := s.logicClock.Cycles(res.LogicCycles)
+	p.doneAt = start + busy
+
+	// Coherence: drop any cached copies of the bytes the function rewrote.
+	if ctx.written.Len > 0 {
+		s.hier.Invalidate(ctx.written.Addr, ctx.written.Len)
+		p.written = ctx.written
+	}
+
+	p.Activations++
+	p.BusyTime += busy
+	p.ActivationTime += s.cpu.Now() - before
+	s.Stats.Activations++
+	s.Stats.LogicBusy += busy
+	return nil
+}
+
+// Poll models one read of a page's synchronization variable: it charges an
+// uncached word read and reports whether the page has completed.
+func (s *System) Poll(p *Page) bool {
+	s.cpu.UncachedLoadU32(p.Base)
+	return p.doneAt <= s.cpu.Now()
+}
+
+// Wait blocks the processor until page p completes, paying any owed
+// mediation work first and accounting the remaining wait as non-overlap
+// time. It charges the final successful poll read.
+func (s *System) Wait(p *Page) {
+	s.payMediation()
+	s.cpu.StallUntil(p.doneAt)
+	s.cpu.UncachedLoadU32(p.Base)
+}
+
+// WaitGroup waits for every page in the group.
+func (s *System) WaitGroup(id GroupID) error {
+	g := s.groups[id]
+	if g == nil {
+		return fmt.Errorf("core: wait: unknown group %q", id)
+	}
+	s.payMediation()
+	var last sim.Time
+	for _, p := range g.pages {
+		if p.doneAt > last {
+			last = p.doneAt
+		}
+	}
+	s.cpu.StallUntil(last)
+	s.cpu.UncachedLoadU32(g.pages[len(g.pages)-1].Base)
+	return nil
+}
+
+// payMediation charges the processor for accumulated inter-page interrupt
+// service.
+func (s *System) payMediation() {
+	if s.pendingMediation > 0 {
+		s.cpu.MediationWork(s.pendingMediation)
+		s.pendingMediation = 0
+	}
+}
+
+// mediationCost is the processor time to service one inter-page copy of n
+// bytes: interrupt entry plus a read and write of each bus word.
+func (s *System) mediationCost(n uint64) sim.Duration {
+	d := s.cpu.Clock().Cycles(s.cfg.InterruptInstructions)
+	// The copy itself crosses the bus twice (page -> processor -> page).
+	d += s.hier.Bus.TransferTime(n) * 2
+	return d
+}

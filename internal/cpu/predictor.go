@@ -1,0 +1,61 @@
+package cpu
+
+// Branch prediction for the in-order core. SimpleScalar's timing models
+// offered selectable predictors; MSS provides the two that matter for the
+// paper's workloads:
+//
+//   - static: every taken control transfer pays the redirect penalty (the
+//     default, matching the conservative front end of the base model)
+//   - bimodal: a table of 2-bit saturating counters indexed by PC; only
+//     mispredictions pay the (larger) pipeline-flush penalty
+type predictor interface {
+	// lookup predicts the branch at pc and returns the predicted
+	// direction.
+	lookup(pc uint32) bool
+	// update trains the predictor with the actual outcome.
+	update(pc uint32, taken bool)
+}
+
+// staticPredictor predicts not-taken always; the core charges its fixed
+// penalty on every taken branch.
+type staticPredictor struct{}
+
+func (staticPredictor) lookup(uint32) bool  { return false }
+func (staticPredictor) update(uint32, bool) {}
+
+// bimodalPredictor is the classic 2-bit counter table.
+type bimodalPredictor struct {
+	counters []uint8 // 0-3; >=2 predicts taken
+	mask     uint32
+}
+
+// newBimodal builds a predictor with the given number of entries (rounded
+// up to a power of two).
+func newBimodal(entries int) *bimodalPredictor {
+	n := 1
+	for n < entries {
+		n <<= 1
+	}
+	c := make([]uint8, n)
+	for i := range c {
+		c[i] = 1 // weakly not-taken
+	}
+	return &bimodalPredictor{counters: c, mask: uint32(n - 1)}
+}
+
+func (b *bimodalPredictor) index(pc uint32) uint32 { return (pc >> 2) & b.mask }
+
+func (b *bimodalPredictor) lookup(pc uint32) bool {
+	return b.counters[b.index(pc)] >= 2
+}
+
+func (b *bimodalPredictor) update(pc uint32, taken bool) {
+	i := b.index(pc)
+	if taken {
+		if b.counters[i] < 3 {
+			b.counters[i]++
+		}
+	} else if b.counters[i] > 0 {
+		b.counters[i]--
+	}
+}

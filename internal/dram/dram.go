@@ -1,0 +1,129 @@
+// Package dram models the DRAM device underlying RADram: a large DRAM
+// divided into 512 KB subarrays, each with its own row decoder (Itoh et
+// al., cited as [I+97] in the paper). Row-buffer locality inside a subarray
+// makes sequential access cheaper than random access, and each subarray is
+// the unit to which RADram attaches a block of reconfigurable logic.
+package dram
+
+import (
+	"fmt"
+
+	"activepages/internal/sim"
+)
+
+// Config describes the DRAM device.
+type Config struct {
+	// SubarrayBytes is the size of one subarray (paper: 512 KB).
+	SubarrayBytes uint64
+	// RowBytes is the size of one DRAM row within a subarray.
+	RowBytes uint64
+	// AccessTime is the full random-access (row miss) latency. This is the
+	// "cache miss" memory component of Table 1 (50 ns reference, varied
+	// 0-600 ns in Figure 8).
+	AccessTime sim.Duration
+	// RowHitTime is the latency when the addressed row is already open.
+	RowHitTime sim.Duration
+	// RefreshInterval and RefreshTime model periodic refresh as a
+	// utilization tax per subarray; the paper notes refresh can be bundled
+	// into the per-subarray logic.
+	RefreshInterval sim.Duration
+	RefreshTime     sim.Duration
+}
+
+// DefaultConfig returns the paper's reference DRAM: 512 KB subarrays, 50 ns
+// access, with a 2 KB row and a conventional 64 ms refresh period.
+func DefaultConfig() Config {
+	return Config{
+		SubarrayBytes:   512 * 1024,
+		RowBytes:        2048,
+		AccessTime:      50 * sim.Nanosecond,
+		RowHitTime:      20 * sim.Nanosecond,
+		RefreshInterval: 64 * sim.Millisecond,
+		RefreshTime:     60 * sim.Nanosecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.SubarrayBytes == 0 || c.SubarrayBytes&(c.SubarrayBytes-1) != 0 {
+		return fmt.Errorf("dram: subarray size %d not a power of two", c.SubarrayBytes)
+	}
+	if c.RowBytes == 0 || c.RowBytes&(c.RowBytes-1) != 0 {
+		return fmt.Errorf("dram: row size %d not a power of two", c.RowBytes)
+	}
+	if c.RowBytes > c.SubarrayBytes {
+		return fmt.Errorf("dram: row size %d exceeds subarray size %d", c.RowBytes, c.SubarrayBytes)
+	}
+	if c.RowHitTime > c.AccessTime && c.AccessTime != 0 {
+		// A zero AccessTime is allowed: Figure 8's sweep starts at 0 ns.
+		return fmt.Errorf("dram: row hit time %v exceeds access time %v", c.RowHitTime, c.AccessTime)
+	}
+	return nil
+}
+
+// Stats accumulates device activity.
+type Stats struct {
+	Accesses  uint64
+	RowHits   uint64
+	RowMisses uint64
+	Refreshes uint64
+}
+
+// Device is the DRAM timing model. Contents live in the mem.Store; the
+// device tracks only open rows per subarray.
+type Device struct {
+	cfg Config
+	// openRow maps subarray index to its open row index; absent means no
+	// open row.
+	openRow map[uint64]uint64
+	Stats   Stats
+}
+
+// New builds a device. It panics on an invalid configuration.
+func New(cfg Config) *Device {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Device{cfg: cfg, openRow: make(map[uint64]uint64)}
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Subarray returns the subarray index containing addr.
+func (d *Device) Subarray(addr uint64) uint64 { return addr / d.cfg.SubarrayBytes }
+
+// AccessTime returns the latency to access the row containing addr and
+// updates the open-row state. A zero-AccessTime configuration (Figure 8's
+// leftmost point) reports zero for both hit and miss.
+func (d *Device) AccessTime(addr uint64) sim.Duration {
+	d.Stats.Accesses++
+	if d.cfg.AccessTime == 0 {
+		return 0
+	}
+	sub := d.Subarray(addr)
+	row := (addr % d.cfg.SubarrayBytes) / d.cfg.RowBytes
+	if open, ok := d.openRow[sub]; ok && open == row {
+		d.Stats.RowHits++
+		return d.cfg.RowHitTime
+	}
+	d.openRow[sub] = row
+	d.Stats.RowMisses++
+	return d.cfg.AccessTime
+}
+
+// CloseAll closes every open row (e.g. after a refresh burst).
+func (d *Device) CloseAll() {
+	clear(d.openRow)
+}
+
+// RefreshOverhead reports the fraction of time a subarray is unavailable due
+// to refresh, as a pure ratio. The per-subarray logic added by RADram is
+// assumed to hide this from the processor (paper, "Power" discussion), so
+// the simulator applies it only to in-page logic throughput when asked.
+func (d *Device) RefreshOverhead() float64 {
+	if d.cfg.RefreshInterval == 0 {
+		return 0
+	}
+	return d.cfg.RefreshTime.Seconds() / d.cfg.RefreshInterval.Seconds()
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+
+	"activepages/internal/apps"
+	"activepages/internal/apps/database"
+	"activepages/internal/apps/lcs"
+	"activepages/internal/pager"
+	"activepages/internal/radram"
+	"activepages/internal/tabler"
+)
+
+// AblationActivation varies the per-activation dispatch cost, showing how
+// partitioning overhead shifts the sub-page/scalable boundary (Section 2:
+// "partitions can be tuned to shift this scalable region").
+func AblationActivation(cfg radram.Config, pages float64) (*tabler.Figure, error) {
+	dispatch := []uint64{10, 60, 200, 1000, 5000}
+	f := tabler.NewFigure("Ablation: speedup vs activation dispatch cost (database)",
+		"dispatch instructions", "speedup")
+	f.X = make([]float64, len(dispatch))
+	y := make([]float64, len(dispatch))
+	for i, d := range dispatch {
+		f.X[i] = float64(d)
+		c := cfg
+		c.AP.DispatchInstructions = d
+		m, err := apps.Measure(database.Benchmark{}, c, pages)
+		if err != nil {
+			return nil, err
+		}
+		y[i] = m.Speedup()
+	}
+	f.Add("database", y)
+	return f, nil
+}
+
+// AblationInterPage varies the inter-page interrupt cost on the wavefront
+// application, from idealized hardware support (0, the Section 10 future-
+// work alternative) to expensive processor mediation.
+func AblationInterPage(cfg radram.Config, pages float64) (*tabler.Figure, error) {
+	interrupt := []uint64{0, 50, 200, 1000, 5000}
+	f := tabler.NewFigure("Ablation: speedup vs inter-page interrupt cost (dynamic-prog)",
+		"interrupt instructions", "speedup")
+	f.X = make([]float64, len(interrupt))
+	y := make([]float64, len(interrupt))
+	for i, d := range interrupt {
+		f.X[i] = float64(d)
+		c := cfg
+		c.AP.InterruptInstructions = d
+		m, err := apps.Measure(lcs.Benchmark{}, c, pages)
+		if err != nil {
+			return nil, err
+		}
+		y[i] = m.Speedup()
+	}
+	f.Add("dynamic-prog", y)
+	return f, nil
+}
+
+// AblationBind compares amortized binding (the reference) against charging
+// full reconfiguration time at every AP_bind — the paper's 2-4x
+// page-replacement cost discussion (Section 6).
+func AblationBind(cfg radram.Config, pages float64) (*tabler.Table, error) {
+	t := tabler.New("Ablation: reconfiguration charging at AP_bind",
+		"Benchmark", "amortized speedup", "charged speedup")
+	for _, b := range Benchmarks() {
+		m1, err := apps.Measure(b, cfg, pages)
+		if err != nil {
+			return nil, err
+		}
+		c := cfg
+		c.AP.ChargeBind = true
+		m2, err := apps.Measure(b, c, pages)
+		if err != nil {
+			return nil, err
+		}
+		t.Row(b.Name(), m1.Speedup(), m2.Speedup())
+	}
+	return t, nil
+}
+
+// AblationPageSize holds total data constant while varying the superpage
+// granularity: smaller pages mean more parallel logic blocks but more
+// activations — the parallelism/overhead tradeoff behind RADram's 512 KB
+// subarray choice (Section 3).
+func AblationPageSize(dataBytes uint64) (*tabler.Figure, error) {
+	sizes := []uint64{16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024}
+	f := tabler.NewFigure("Ablation: speedup vs superpage size at fixed data size (database)",
+		"page KB", "speedup")
+	f.X = make([]float64, len(sizes))
+	y := make([]float64, len(sizes))
+	for i, size := range sizes {
+		f.X[i] = float64(size) / 1024
+		cfg := radram.DefaultConfig().WithPageBytes(size)
+		pages := float64(dataBytes) / float64(size)
+		m, err := apps.Measure(database.Benchmark{}, cfg, pages)
+		if err != nil {
+			return nil, err
+		}
+		y[i] = m.Speedup()
+	}
+	f.Add("database", y)
+	return f, nil
+}
+
+// AblationMMXWidth compares the conventional 32-bit-result MMX against the
+// wide RADram MMX at one problem size by reporting both executions' times
+// (Section 5.2's width discussion is the whole mpeg benchmark; this
+// surfaces the raw times).
+func AblationMMXWidth(cfg radram.Config, pages float64) (*tabler.Table, error) {
+	m, err := apps.Measure(BenchmarksMPEG(), cfg, pages)
+	if err != nil {
+		return nil, err
+	}
+	t := tabler.New("Ablation: MMX instruction width (32-bit results vs page-wide)",
+		"Implementation", "time (ms)")
+	t.Row("SimpleScalar MMX (32-bit results)", m.ConvTime.Milliseconds())
+	t.Row("RADram wide MMX (page-wide results)", m.RadTime.Milliseconds())
+	return t, nil
+}
+
+// BenchmarksMPEG returns the mpeg kernel (helper for the width ablation).
+func BenchmarksMPEG() apps.Benchmark {
+	for _, b := range Benchmarks() {
+		if b.Name() == "mpeg-mmx" {
+			return b
+		}
+	}
+	panic("experiments: mpeg-mmx benchmark missing")
+}
+
+// PagingStudy sweeps the working-set size against a fixed resident set,
+// comparing total fault-service time for conventional pages versus Active
+// Pages (which reload their function bitstreams on swap-in) — Section 10's
+// OS-integration concern made quantitative. The trace visits the working
+// set cyclically, the worst case for LRU.
+func PagingStudy(residentPages int, bitstreamBytes int) *tabler.Figure {
+	f := tabler.NewFigure(
+		"Paging: fault overhead vs working set (resident="+fmt.Sprint(residentPages)+" pages)",
+		"working-set pages", "fault time (ms)")
+	sets := []int{residentPages / 2, residentPages, residentPages + 1,
+		residentPages * 2, residentPages * 4}
+	f.X = make([]float64, len(sets))
+	conv := make([]float64, len(sets))
+	act := make([]float64, len(sets))
+	for i, ws := range sets {
+		f.X[i] = float64(ws)
+		trace := make([]uint64, 0, ws*20)
+		for rep := 0; rep < 20; rep++ {
+			for pg := 0; pg < ws; pg++ {
+				trace = append(trace, uint64(pg))
+			}
+		}
+		pc := pager.New(pager.DefaultConfig(residentPages))
+		conv[i] = pc.RunTrace(trace, false, 0).Milliseconds()
+		pa := pager.New(pager.DefaultConfig(residentPages))
+		act[i] = pa.RunTrace(trace, true, bitstreamBytes).Milliseconds()
+	}
+	f.Add("conventional", conv)
+	f.Add("active-pages", act)
+	return f
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"activepages/internal/apps/database"
+	"activepages/internal/apps/layout"
+	"activepages/internal/asm"
+	"activepages/internal/cpu"
+	"activepages/internal/mem"
+	"activepages/internal/memsys"
+	"activepages/internal/radram"
+	"activepages/internal/workload"
+)
+
+// Cross-validation of the two simulator tiers (DESIGN.md substitution #1):
+// the conventional database scan written in MSS assembly and executed
+// instruction by instruction on the SimpleScalar-style core must agree
+// with the task-level processor model — same answer, and elapsed times
+// within a small constant factor.
+func TestCrossValidateDatabaseScan(t *testing.T) {
+	const nRecords = 2000
+	book := workload.AddressBook(1998, nRecords)
+	query := workload.QueryName()
+	want := workload.CountLastName(book, query)
+	qw := layout.PackQueryWords(query, workload.LastNameBytes)
+
+	// Tier (a): the ISA core running the scan as a real program.
+	src := fmt.Sprintf(`
+main:
+	li r5, %#x           # record base
+	li r6, %d            # record count
+	clear r7             # match count
+rec:
+	beq r6, r0, done
+	la r12, query
+	move r11, r5
+	li r13, 6
+cmp:
+	beq r13, r0, ismatch
+	lw r1, 0(r11)
+	lw r2, 0(r12)
+	bne r1, r2, next
+	addi r11, r11, 4
+	addi r12, r12, 4
+	addi r13, r13, -1
+	b cmp
+ismatch:
+	addi r7, r7, 1
+next:
+	addi r5, r5, %d
+	addi r6, r6, -1
+	b rec
+done:
+	move r4, r7
+	li r2, 1
+	syscall
+	halt
+	.data
+query:
+	.word %d, %d, %d, %d, %d, %d
+`, layout.DataBase, nRecords, workload.RecordBytes,
+		int64(qw[0]), int64(qw[1]), int64(qw[2]), int64(qw[3]), int64(qw[4]), int64(qw[5]))
+
+	img, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := mem.NewStore()
+	core := cpu.New(cpu.DefaultConfig(), memsys.New(memsys.DefaultConfig()), store)
+	core.Load(img)
+	store.Write(layout.DataBase, book)
+	if _, err := core.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(core.Output.String()); got != fmt.Sprint(want) {
+		t.Fatalf("ISA tier counted %q, want %d", got, want)
+	}
+
+	// Tier (b): the task-level model running the same scan at the same
+	// record count.
+	cfg := radram.DefaultConfig().WithPageBytes(64 * 1024)
+	perPage := float64((64*1024 - layout.HeaderBytes) / workload.RecordBytes)
+	conv := radram.NewConventional(cfg)
+	if err := (database.Benchmark{}).Run(conv, nRecords/perPage); err != nil {
+		t.Fatal(err)
+	}
+
+	ratio := float64(core.Now()) / float64(conv.Elapsed())
+	// The ISA tier executes every loop/bookkeeping instruction explicitly
+	// and pays per-branch penalties; the task-level tier charges them in
+	// aggregate. They must land within a small constant factor.
+	if ratio < 0.5 || ratio > 4 {
+		t.Fatalf("tier disagreement: ISA %v vs task-level %v (ratio %.2f)",
+			core.Now(), conv.Elapsed(), ratio)
+	}
+	t.Logf("ISA tier %v, task-level tier %v, ratio %.2f", core.Now(), conv.Elapsed(), ratio)
+}

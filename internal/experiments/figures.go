@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"activepages/internal/apps"
+	"activepages/internal/radram"
+	"activepages/internal/sim"
+	"activepages/internal/tabler"
+)
+
+// Figure3 renders the speedup-versus-problem-size sweep.
+func Figure3(sweeps []*Sweep) *tabler.Figure {
+	f := tabler.NewFigure("Figure 3: RADram speedup as problem size varies",
+		"pages", "speedup (conventional/RADram)")
+	if len(sweeps) > 0 {
+		f.X = sweeps[0].Pages
+	}
+	for _, s := range sweeps {
+		f.Add(s.Benchmark, s.Speedups())
+	}
+	return f
+}
+
+// Figure4 renders the processor-stall sweep.
+func Figure4(sweeps []*Sweep) *tabler.Figure {
+	f := tabler.NewFigure("Figure 4: percent cycles processor stalled on RADram",
+		"pages", "% cycles stalled")
+	if len(sweeps) > 0 {
+		f.X = sweeps[0].Pages
+	}
+	for _, s := range sweeps {
+		f.Add(s.Benchmark, s.NonOverlaps())
+	}
+	return f
+}
+
+// DefaultL1Sizes is Figure 5's x axis (Table 1 variation: 32K-256K, with
+// two smaller points to expose the left-edge sensitivity the paper notes
+// "when it fell below 64 kilobytes").
+func DefaultL1Sizes() []uint64 {
+	return []uint64{8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024}
+}
+
+// DefaultL2Sizes is the Section 7.3 L2 sweep (256K-4M).
+func DefaultL2Sizes() []uint64 {
+	return []uint64{256 * 1024, 512 * 1024, 1024 * 1024, 2 * 1024 * 1024, 4 * 1024 * 1024}
+}
+
+// CacheSweep measures execution time versus a cache size for both machine
+// types at a fixed problem size. level is "L1D" or "L2".
+func CacheSweep(benchNames []string, cfg radram.Config, level string,
+	sizes []uint64, pages float64) (conv, rad *tabler.Figure, err error) {
+
+	x := make([]float64, len(sizes))
+	for i, s := range sizes {
+		x[i] = float64(s) / 1024
+	}
+	conv = tabler.NewFigure(
+		fmt.Sprintf("Figure 5 (left): conventional execution time vs %s size", level),
+		level+" KB", "time (ms)")
+	rad = tabler.NewFigure(
+		fmt.Sprintf("Figure 5 (right): RADram execution time vs %s size", level),
+		level+" KB", "time (ms)")
+	conv.X, rad.X = x, x
+
+	for _, name := range benchNames {
+		b, err := BenchmarkByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		convY := make([]float64, len(sizes))
+		radY := make([]float64, len(sizes))
+		for i, size := range sizes {
+			c := cfg
+			if level == "L2" {
+				c = c.WithL2(size)
+			} else {
+				c = c.WithL1D(size)
+			}
+			m, err := apps.Measure(b, c, pages)
+			if err != nil {
+				return nil, nil, err
+			}
+			convY[i] = m.ConvTime.Milliseconds()
+			radY[i] = m.RadTime.Milliseconds()
+		}
+		conv.Add(name, convY)
+		rad.Add(name, radY)
+	}
+	return conv, rad, nil
+}
+
+// DefaultMissLatencies is Figure 8's x axis (0-600 ns).
+func DefaultMissLatencies() []sim.Duration {
+	out := []sim.Duration{0}
+	for _, ns := range []uint64{50, 100, 200, 300, 400, 500, 600} {
+		out = append(out, sim.Duration(ns)*sim.Nanosecond)
+	}
+	return out
+}
+
+// MissLatencySweep measures speedup versus cache-miss latency at a fixed
+// problem size (Figure 8).
+func MissLatencySweep(cfg radram.Config, latencies []sim.Duration, pages float64) (*tabler.Figure, error) {
+	f := tabler.NewFigure("Figure 8: RADram speedup as cache-to-memory latency varies",
+		"miss ns", "speedup")
+	f.X = make([]float64, len(latencies))
+	for i, d := range latencies {
+		f.X[i] = d.Nanoseconds()
+	}
+	for _, b := range Benchmarks() {
+		y := make([]float64, len(latencies))
+		for i, d := range latencies {
+			m, err := apps.Measure(b, cfg.WithMissLatency(d), pages)
+			if err != nil {
+				return nil, err
+			}
+			y[i] = m.Speedup()
+		}
+		f.Add(b.Name(), y)
+	}
+	return f, nil
+}
+
+// DefaultLogicDivisors is Figure 9's x axis: CPU-clock/logic-clock ratios
+// (Table 1 variation 10-500 MHz logic at a 1 GHz core; reference 10).
+func DefaultLogicDivisors() []uint64 {
+	return []uint64{2, 4, 10, 20, 50, 100}
+}
+
+// LogicSpeedSweep measures speedup versus the logic-clock divisor at a
+// fixed problem size (Figure 9; higher divisor = slower logic).
+func LogicSpeedSweep(cfg radram.Config, divisors []uint64, pages float64) (*tabler.Figure, error) {
+	f := tabler.NewFigure("Figure 9: RADram speedup as logic speed varies",
+		"logic divisor", "speedup")
+	f.X = make([]float64, len(divisors))
+	for i, d := range divisors {
+		f.X[i] = float64(d)
+	}
+	for _, b := range Benchmarks() {
+		y := make([]float64, len(divisors))
+		for i, d := range divisors {
+			m, err := apps.Measure(b, cfg.WithLogicDivisor(d), pages)
+			if err != nil {
+				return nil, err
+			}
+			y[i] = m.Speedup()
+		}
+		f.Add(b.Name(), y)
+	}
+	return f, nil
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"activepages/internal/apps/database"
+	"activepages/internal/apps/layout"
+	"activepages/internal/core"
+	"activepages/internal/mem"
+	"activepages/internal/memsys"
+	"activepages/internal/proc"
+	"activepages/internal/radram"
+	"activepages/internal/sim"
+	"activepages/internal/tabler"
+	"activepages/internal/workload"
+)
+
+// SMPStudy models the multiprocessor coordination Section 2 sketches
+// ("pages may coordinate with multiple processors in a Symmetric
+// Multiprocessor") and Section 10 lists as future work: P processors share
+// one Active-Page memory, each owning a disjoint slice of the pages of a
+// database query. Activation dispatch — the serial bottleneck that causes
+// saturation — is parallelized across processors, so the saturation point
+// scales with P.
+//
+// The model gives each processor its own timeline over a shared backing
+// store; kernel time is the slowest processor. Bus contention between
+// processors is not modeled (each has the paper's full bus to memory),
+// making this the optimistic bound hardware SMP support would approach.
+func SMPStudy(cfg radram.Config, pages float64, processors []int) (*tabler.Figure, error) {
+	f := tabler.NewFigure(
+		fmt.Sprintf("SMP: database query time vs processors (%g pages)", pages),
+		"processors", "time (ms)")
+	f.X = make([]float64, len(processors))
+	y := make([]float64, len(processors))
+	for i, p := range processors {
+		f.X[i] = float64(p)
+		t, err := runSMPDatabase(cfg, pages, p)
+		if err != nil {
+			return nil, err
+		}
+		y[i] = t.Milliseconds()
+	}
+	f.Add("database", y)
+	return f, nil
+}
+
+// runSMPDatabase splits the database pages across n processors and
+// returns the slowest processor's elapsed time.
+func runSMPDatabase(cfg radram.Config, pages float64, nProc int) (sim.Time, error) {
+	if nProc < 1 {
+		return 0, fmt.Errorf("experiments: need at least one processor")
+	}
+	store := mem.NewStore()
+	hier := memsys.New(cfg.Mem)
+
+	// Shared data: one address book blocked into pages, as the database
+	// study lays it out.
+	perPage := int((cfg.AP.PageBytes - layout.HeaderBytes) / workload.RecordBytes)
+	nRecords := int(pages * float64(perPage))
+	if nRecords < nProc {
+		nRecords = nProc
+	}
+	book := workload.AddressBook(1998, nRecords)
+	want := workload.CountLastName(book, workload.QueryName())
+	nPages := (nRecords + perPage - 1) / perPage
+
+	// Each processor owns a contiguous slice of pages via its own
+	// Active-Page system view over the shared store.
+	type worker struct {
+		cpu   *proc.CPU
+		sys   *core.System
+		pages []*core.Page
+		first int
+	}
+	workers := make([]*worker, nProc)
+	for w := range workers {
+		cpu := proc.New(cfg.CPU, hier, store)
+		sys, err := core.NewSystem(cfg.AP, cpu)
+		if err != nil {
+			return 0, err
+		}
+		workers[w] = &worker{cpu: cpu, sys: sys}
+	}
+	for pg := 0; pg < nPages; pg++ {
+		w := workers[pg*nProc/nPages]
+		vaddr := uint64(layout.DataBase) + uint64(pg)*cfg.AP.PageBytes
+		p, err := w.sys.Alloc("database", vaddr)
+		if err != nil {
+			return 0, err
+		}
+		if len(w.pages) == 0 {
+			w.first = pg
+		}
+		w.pages = append(w.pages, p)
+		first := pg * perPage
+		last := min(nRecords, first+perPage)
+		store.Write(vaddr+layout.HeaderBytes,
+			book[first*workload.RecordBytes:last*workload.RecordBytes])
+	}
+
+	// Each processor dispatches and summarizes its slice.
+	total := 0
+	var slowest sim.Time
+	for _, w := range workers {
+		if len(w.pages) == 0 {
+			continue
+		}
+		count, err := database.QueryPages(w.sys, w.pages, perPage,
+			nRecords-w.first*perPage, workload.QueryName())
+		if err != nil {
+			return 0, err
+		}
+		total += count
+		if w.cpu.Now() > slowest {
+			slowest = w.cpu.Now()
+		}
+	}
+	if total != want {
+		return 0, fmt.Errorf("experiments: SMP count %d, want %d", total, want)
+	}
+	return slowest, nil
+}

@@ -1,0 +1,218 @@
+// Package mem provides the flat backing store and superpage geometry used by
+// the RADram simulator.
+//
+// The store is the single source of truth for the contents of simulated
+// physical memory. Both the processor model and Active-Page functions
+// manipulate bytes here; timing is accounted separately by the cache, bus,
+// DRAM, and logic models. Frames are allocated lazily so large, sparsely
+// touched address spaces stay cheap.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// DefaultPageBytes is the paper's Active-Page superpage size: 512 Kbytes,
+// matching one gigabit-DRAM subarray (Itoh et al., Section 3 of the paper).
+const DefaultPageBytes = 512 * 1024
+
+// frameBytes is the allocation granule of the backing store. It is smaller
+// than a superpage so that barely-touched superpages do not cost 512 KB of
+// host memory.
+const frameBytes = 16 * 1024
+
+// Store is a sparse, byte-addressable simulated memory.
+//
+// The zero value is not usable; call NewStore.
+type Store struct {
+	frames map[uint64][]byte
+	// touched counts frames ever allocated, for footprint reporting.
+	touched uint64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{frames: make(map[uint64][]byte)}
+}
+
+// frame returns the frame containing addr, allocating it if needed.
+func (s *Store) frame(addr uint64) []byte {
+	idx := addr / frameBytes
+	f := s.frames[idx]
+	if f == nil {
+		f = make([]byte, frameBytes)
+		s.frames[idx] = f
+		s.touched++
+	}
+	return f
+}
+
+// FootprintBytes reports how much simulated memory has ever been touched.
+func (s *Store) FootprintBytes() uint64 { return s.touched * frameBytes }
+
+// ByteAt returns the byte at addr.
+func (s *Store) ByteAt(addr uint64) byte {
+	return s.frame(addr)[addr%frameBytes]
+}
+
+// SetByte stores b at addr.
+func (s *Store) SetByte(addr uint64, b byte) {
+	s.frame(addr)[addr%frameBytes] = b
+}
+
+// Read copies len(p) bytes starting at addr into p.
+func (s *Store) Read(addr uint64, p []byte) {
+	for len(p) > 0 {
+		f := s.frame(addr)
+		off := addr % frameBytes
+		n := copy(p, f[off:])
+		p = p[n:]
+		addr += uint64(n)
+	}
+}
+
+// Write copies p into the store starting at addr.
+func (s *Store) Write(addr uint64, p []byte) {
+	for len(p) > 0 {
+		f := s.frame(addr)
+		off := addr % frameBytes
+		n := copy(f[off:], p)
+		p = p[n:]
+		addr += uint64(n)
+	}
+}
+
+// Move copies n bytes from src to dst, handling overlap like copy.
+func (s *Store) Move(dst, src uint64, n uint64) {
+	if n == 0 || dst == src {
+		return
+	}
+	// Copy through a bounce buffer in chunks. For overlapping forward moves
+	// (dst > src) copy back-to-front so earlier bytes are not clobbered.
+	const chunk = 64 * 1024
+	buf := make([]byte, min(n, chunk))
+	if dst > src && dst < src+n {
+		rem := n
+		for rem > 0 {
+			c := min(rem, chunk)
+			rem -= c
+			s.Read(src+rem, buf[:c])
+			s.Write(dst+rem, buf[:c])
+		}
+		return
+	}
+	for done := uint64(0); done < n; {
+		c := min(n-done, chunk)
+		s.Read(src+done, buf[:c])
+		s.Write(dst+done, buf[:c])
+		done += c
+	}
+}
+
+// Fill sets n bytes starting at addr to b.
+func (s *Store) Fill(addr uint64, n uint64, b byte) {
+	for n > 0 {
+		f := s.frame(addr)
+		off := addr % frameBytes
+		c := min(n, frameBytes-off)
+		region := f[off : off+c]
+		for i := range region {
+			region[i] = b
+		}
+		addr += c
+		n -= c
+	}
+}
+
+// The fixed-width accessors use little-endian byte order, matching the
+// simulated ISA.
+
+// ReadU16 loads a 16-bit value from addr.
+func (s *Store) ReadU16(addr uint64) uint16 {
+	var b [2]byte
+	s.Read(addr, b[:])
+	return binary.LittleEndian.Uint16(b[:])
+}
+
+// WriteU16 stores a 16-bit value at addr.
+func (s *Store) WriteU16(addr uint64, v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	s.Write(addr, b[:])
+}
+
+// ReadU32 loads a 32-bit value from addr.
+func (s *Store) ReadU32(addr uint64) uint32 {
+	var b [4]byte
+	s.Read(addr, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// WriteU32 stores a 32-bit value at addr.
+func (s *Store) WriteU32(addr uint64, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	s.Write(addr, b[:])
+}
+
+// ReadU64 loads a 64-bit value from addr.
+func (s *Store) ReadU64(addr uint64) uint64 {
+	var b [8]byte
+	s.Read(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// WriteU64 stores a 64-bit value at addr.
+func (s *Store) WriteU64(addr uint64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	s.Write(addr, b[:])
+}
+
+// Geometry describes the superpage layout of an address space.
+type Geometry struct {
+	// PageBytes is the superpage size; must be a power of two.
+	PageBytes uint64
+}
+
+// NewGeometry validates the page size and returns a geometry.
+func NewGeometry(pageBytes uint64) (Geometry, error) {
+	if pageBytes == 0 || pageBytes&(pageBytes-1) != 0 {
+		return Geometry{}, fmt.Errorf("mem: page size %d is not a power of two", pageBytes)
+	}
+	return Geometry{PageBytes: pageBytes}, nil
+}
+
+// PageIndex returns the superpage number containing addr.
+func (g Geometry) PageIndex(addr uint64) uint64 { return addr / g.PageBytes }
+
+// PageBase returns the first address of the superpage containing addr.
+func (g Geometry) PageBase(addr uint64) uint64 { return addr &^ (g.PageBytes - 1) }
+
+// PageOffset returns addr's offset within its superpage.
+func (g Geometry) PageOffset(addr uint64) uint64 { return addr & (g.PageBytes - 1) }
+
+// PagesFor reports how many superpages are needed to hold n bytes.
+func (g Geometry) PagesFor(n uint64) uint64 {
+	return (n + g.PageBytes - 1) / g.PageBytes
+}
+
+// Range describes a contiguous span of simulated memory.
+type Range struct {
+	Addr uint64
+	Len  uint64
+}
+
+// End returns the first address past the range.
+func (r Range) End() uint64 { return r.Addr + r.Len }
+
+// Overlaps reports whether r and o share any address.
+func (r Range) Overlaps(o Range) bool {
+	return r.Addr < o.End() && o.Addr < r.End()
+}
+
+// Contains reports whether addr falls inside r.
+func (r Range) Contains(addr uint64) bool {
+	return addr >= r.Addr && addr < r.End()
+}

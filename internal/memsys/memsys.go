@@ -1,0 +1,172 @@
+// Package memsys composes the cache, bus, and DRAM models into the memory
+// hierarchy of the simulated workstation: split L1 instruction/data caches,
+// a unified L2, a 32-bit memory bus, and a subarrayed DRAM device.
+//
+// The hierarchy is a latency model: every access reports how long it takes
+// and updates occupancy state. It also implements the coherence action the
+// Active-Page runtime needs — invalidating cached copies of page data that
+// an in-memory function has rewritten.
+package memsys
+
+import (
+	"activepages/internal/bus"
+	"activepages/internal/cache"
+	"activepages/internal/dram"
+	"activepages/internal/sim"
+)
+
+// Config describes the whole hierarchy. The defaults reproduce Table 1 of
+// the paper.
+type Config struct {
+	L1I cache.Config
+	L1D cache.Config
+	L2  cache.Config
+	// L1HitTime and L2HitTime are access latencies for hits at each level.
+	L1HitTime sim.Duration
+	L2HitTime sim.Duration
+	Bus       bus.Config
+	DRAM      dram.Config
+}
+
+// DefaultConfig returns the paper's reference hierarchy: 64K 2-way split L1,
+// 1M 4-way L2 (Section 7.3), 32-byte lines, 50 ns miss, 32-bit/10 ns bus.
+func DefaultConfig() Config {
+	return Config{
+		L1I:       cache.Config{Name: "L1I", SizeBytes: 64 * 1024, LineBytes: 32, Assoc: 2},
+		L1D:       cache.Config{Name: "L1D", SizeBytes: 64 * 1024, LineBytes: 32, Assoc: 2},
+		L2:        cache.Config{Name: "L2", SizeBytes: 1024 * 1024, LineBytes: 32, Assoc: 4},
+		L1HitTime: 1 * sim.Nanosecond,
+		L2HitTime: 8 * sim.Nanosecond,
+		Bus:       bus.DefaultConfig(),
+		DRAM:      dram.DefaultConfig(),
+	}
+}
+
+// AccessKind selects the path an access takes through the hierarchy.
+type AccessKind int
+
+const (
+	// Fetch is an instruction fetch through the L1 I-cache.
+	Fetch AccessKind = iota
+	// Read is a data load through the L1 D-cache.
+	Read
+	// Write is a data store through the L1 D-cache (write-allocate).
+	Write
+	// UncachedRead bypasses the caches: a read of Active-Page control or
+	// output data that must observe memory directly.
+	UncachedRead
+	// UncachedWrite bypasses the caches: a write to Active-Page control
+	// space (activation writes, synchronization variables).
+	UncachedWrite
+)
+
+// Hierarchy is the composed memory system.
+type Hierarchy struct {
+	cfg  Config
+	L1I  *cache.Cache
+	L1D  *cache.Cache
+	L2   *cache.Cache
+	Bus  *bus.Bus
+	DRAM *dram.Device
+
+	// UncachedAccesses counts accesses that bypassed the caches.
+	UncachedAccesses uint64
+}
+
+// New builds the hierarchy. It panics on invalid cache configuration.
+func New(cfg Config) *Hierarchy {
+	return &Hierarchy{
+		cfg:  cfg,
+		L1I:  cache.New(cfg.L1I),
+		L1D:  cache.New(cfg.L1D),
+		L2:   cache.New(cfg.L2),
+		Bus:  bus.New(cfg.Bus),
+		DRAM: dram.New(cfg.DRAM),
+	}
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// memoryTime is the cost of one line (or word) access that reaches DRAM.
+func (h *Hierarchy) memoryTime(addr, bytes uint64) sim.Duration {
+	return h.DRAM.AccessTime(addr) + h.Bus.TransferTime(bytes)
+}
+
+// lineFill charges a fill of one line at the given level's line size.
+func (h *Hierarchy) lineFill(addr uint64, lineBytes uint64) sim.Duration {
+	return h.memoryTime(addr, lineBytes)
+}
+
+// Access performs an access of size bytes at addr and returns its latency.
+// Accesses spanning multiple cache lines are charged per line.
+func (h *Hierarchy) Access(addr uint64, size uint64, kind AccessKind) sim.Duration {
+	if size == 0 {
+		return 0
+	}
+	switch kind {
+	case UncachedRead, UncachedWrite:
+		h.UncachedAccesses++
+		// An uncached access pays the full DRAM latency plus bus time for
+		// the bytes moved. Writes are posted but still occupy the bus; the
+		// simulated processor does not continue past them (conservative).
+		return h.memoryTime(addr, size)
+	}
+
+	l1 := h.L1D
+	if kind == Fetch {
+		l1 = h.L1I
+	}
+	write := kind == Write
+
+	var total sim.Duration
+	line := l1.LineBytes()
+	first := addr &^ (line - 1)
+	for a := first; a < addr+size; a += line {
+		total += h.accessLine(l1, a, write)
+	}
+	return total
+}
+
+// accessLine charges one line access through L1 -> L2 -> memory.
+func (h *Hierarchy) accessLine(l1 *cache.Cache, addr uint64, write bool) sim.Duration {
+	t := h.cfg.L1HitTime
+	r1 := l1.Access(addr, write)
+	if r1.Hit {
+		return t
+	}
+	// L1 miss: consult L2. The L1 victim writeback, if any, is absorbed by
+	// the L2 (both are on-chip); it costs an L2 access.
+	if r1.Writeback {
+		t += h.cfg.L2HitTime
+		r := h.L2.Access(r1.WritebackAddr, true)
+		if r.Writeback {
+			t += h.Bus.TransferTime(h.L2.LineBytes())
+		}
+	}
+	t += h.cfg.L2HitTime
+	r2 := h.L2.Access(addr, false)
+	if r2.Hit {
+		return t
+	}
+	// L2 miss: go to memory. A dirty L2 victim is written back over the bus.
+	if r2.Writeback {
+		t += h.Bus.TransferTime(h.L2.LineBytes())
+	}
+	t += h.lineFill(addr, h.L2.LineBytes())
+	return t
+}
+
+// Invalidate drops any cached copies of [addr, addr+size) from the data-side
+// caches. The Active-Page runtime calls this when an in-memory function has
+// rewritten page data, so subsequent processor reads observe memory. It
+// returns the number of lines dropped across levels.
+func (h *Hierarchy) Invalidate(addr, size uint64) uint64 {
+	return h.L1D.InvalidateRange(addr, size) + h.L2.InvalidateRange(addr, size)
+}
+
+// FlushData empties the data-side caches (used between experiment runs).
+func (h *Hierarchy) FlushData() {
+	h.L1D.Flush()
+	h.L2.Flush()
+}

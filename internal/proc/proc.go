@@ -1,0 +1,263 @@
+// Package proc provides the task-level processor model used by the
+// application studies: an execution-driven CPU whose programs are Go
+// functions that issue loads, stores, and compute work against the
+// simulated memory hierarchy.
+//
+// The model's job is accounting. Every operation advances the processor's
+// clock and lands in one of four buckets:
+//
+//   - compute time: instruction issue (the application's real work)
+//   - memory-stall time: waiting on the cache/bus/DRAM for its own accesses
+//   - non-overlap time: waiting for Active-Page computation (the paper's
+//     processor-memory non-overlap metric, Figure 4)
+//   - mediation time: servicing inter-page communication interrupts on
+//     behalf of the Active-Page memory system (Section 3)
+//
+// The same application algorithms run against a conventional configuration
+// (no Active Pages) and a RADram configuration; the buckets produce every
+// derived quantity in the paper's evaluation.
+package proc
+
+import (
+	"activepages/internal/mem"
+	"activepages/internal/memsys"
+	"activepages/internal/sim"
+)
+
+// Config describes the processor.
+type Config struct {
+	// ClockHz is the core clock (Table 1 reference: 1 GHz).
+	ClockHz uint64
+	// FPMulLatency is the charge, in cycles, of one floating-point multiply
+	// issued by Compute-side code (pipelined FPU: throughput 1/cycle, so
+	// the default charge is 1; latency is hidden by the paper's assumption
+	// that the processor runs "at peak floating-point speeds" when fed).
+	FPMulLatency uint64
+}
+
+// DefaultConfig returns the Table 1 reference processor.
+func DefaultConfig() Config {
+	return Config{ClockHz: 1_000_000_000, FPMulLatency: 1}
+}
+
+// Stats is the processor time ledger.
+type Stats struct {
+	ComputeTime    sim.Duration
+	MemStallTime   sim.Duration
+	NonOverlapTime sim.Duration
+	MediationTime  sim.Duration
+
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	FPOps        uint64
+}
+
+// BusyTime is time the processor was doing useful work (compute plus
+// mediation service).
+func (s Stats) BusyTime() sim.Duration { return s.ComputeTime + s.MediationTime }
+
+// TotalTime is the sum of all buckets.
+func (s Stats) TotalTime() sim.Duration {
+	return s.ComputeTime + s.MemStallTime + s.NonOverlapTime + s.MediationTime
+}
+
+// NonOverlapFraction is the share of total time spent stalled on Active-
+// Page computation: the y-axis of Figure 4.
+func (s Stats) NonOverlapFraction() float64 {
+	t := s.TotalTime()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.NonOverlapTime) / float64(t)
+}
+
+// CPU is the task-level processor.
+type CPU struct {
+	cfg   Config
+	clock sim.Clock
+	hier  *memsys.Hierarchy
+	store *mem.Store
+	now   sim.Time
+	Stats Stats
+}
+
+// New builds a CPU over the hierarchy and backing store.
+func New(cfg Config, h *memsys.Hierarchy, store *mem.Store) *CPU {
+	if cfg.ClockHz == 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.FPMulLatency == 0 {
+		cfg.FPMulLatency = 1
+	}
+	return &CPU{cfg: cfg, clock: sim.NewClock(cfg.ClockHz), hier: h, store: store}
+}
+
+// Clock returns the core clock.
+func (c *CPU) Clock() sim.Clock { return c.clock }
+
+// Hierarchy returns the memory hierarchy the CPU issues into.
+func (c *CPU) Hierarchy() *memsys.Hierarchy { return c.hier }
+
+// Store returns the simulated backing store.
+func (c *CPU) Store() *mem.Store { return c.store }
+
+// Now returns the processor's current time.
+func (c *CPU) Now() sim.Time { return c.now }
+
+// Compute charges n instructions of busy time at one cycle each.
+func (c *CPU) Compute(n uint64) {
+	d := c.clock.Cycles(n)
+	c.now += d
+	c.Stats.ComputeTime += d
+	c.Stats.Instructions += n
+}
+
+// ComputeFP charges n floating-point operations (multiply-class) plus their
+// issue.
+func (c *CPU) ComputeFP(n uint64) {
+	d := c.clock.Cycles(n * c.cfg.FPMulLatency)
+	c.now += d
+	c.Stats.ComputeTime += d
+	c.Stats.Instructions += n
+	c.Stats.FPOps += n
+}
+
+// access charges a data access, splitting hit time into compute and the
+// remainder into memory stall.
+func (c *CPU) access(addr, size uint64, kind memsys.AccessKind) {
+	t := c.hier.Access(addr, size, kind)
+	hit := c.hier.Config().L1HitTime
+	if kind == memsys.UncachedRead || kind == memsys.UncachedWrite {
+		hit = 0
+	}
+	if t < hit {
+		hit = t
+	}
+	c.now += t
+	c.Stats.ComputeTime += hit
+	c.Stats.MemStallTime += t - hit
+	c.Stats.Instructions++
+	if kind == memsys.Read || kind == memsys.UncachedRead {
+		c.Stats.Loads++
+	} else {
+		c.Stats.Stores++
+	}
+}
+
+// The typed accessors perform a functional load/store on the backing store
+// and charge its timing through the cache hierarchy.
+
+// LoadU8 loads one byte.
+func (c *CPU) LoadU8(addr uint64) uint8 {
+	c.access(addr, 1, memsys.Read)
+	return c.store.ByteAt(addr)
+}
+
+// LoadU16 loads a 16-bit value.
+func (c *CPU) LoadU16(addr uint64) uint16 {
+	c.access(addr, 2, memsys.Read)
+	return c.store.ReadU16(addr)
+}
+
+// LoadU32 loads a 32-bit value.
+func (c *CPU) LoadU32(addr uint64) uint32 {
+	c.access(addr, 4, memsys.Read)
+	return c.store.ReadU32(addr)
+}
+
+// LoadU64 loads a 64-bit value.
+func (c *CPU) LoadU64(addr uint64) uint64 {
+	c.access(addr, 8, memsys.Read)
+	return c.store.ReadU64(addr)
+}
+
+// StoreU8 stores one byte.
+func (c *CPU) StoreU8(addr uint64, v uint8) {
+	c.access(addr, 1, memsys.Write)
+	c.store.SetByte(addr, v)
+}
+
+// StoreU16 stores a 16-bit value.
+func (c *CPU) StoreU16(addr uint64, v uint16) {
+	c.access(addr, 2, memsys.Write)
+	c.store.WriteU16(addr, v)
+}
+
+// StoreU32 stores a 32-bit value.
+func (c *CPU) StoreU32(addr uint64, v uint32) {
+	c.access(addr, 4, memsys.Write)
+	c.store.WriteU32(addr, v)
+}
+
+// StoreU64 stores a 64-bit value.
+func (c *CPU) StoreU64(addr uint64, v uint64) {
+	c.access(addr, 8, memsys.Write)
+	c.store.WriteU64(addr, v)
+}
+
+// ReadBlock loads n bytes into p, charged as sequential word reads through
+// the caches.
+func (c *CPU) ReadBlock(addr uint64, p []byte) {
+	c.access(addr, uint64(len(p)), memsys.Read)
+	c.store.Read(addr, p)
+}
+
+// WriteBlock stores p, charged as sequential word writes through the
+// caches.
+func (c *CPU) WriteBlock(addr uint64, p []byte) {
+	c.access(addr, uint64(len(p)), memsys.Write)
+	c.store.Write(addr, p)
+}
+
+// UncachedLoadU32 reads a word around the caches — an Active-Page
+// synchronization variable or output area read.
+func (c *CPU) UncachedLoadU32(addr uint64) uint32 {
+	c.access(addr, 4, memsys.UncachedRead)
+	return c.store.ReadU32(addr)
+}
+
+// UncachedStoreU32 writes a word around the caches — an activation or
+// synchronization-variable write.
+func (c *CPU) UncachedStoreU32(addr uint64, v uint32) {
+	c.access(addr, 4, memsys.UncachedWrite)
+	c.store.WriteU32(addr, v)
+}
+
+// UncachedReadBlock reads a block around the caches (Active-Page output
+// areas, gathered in cache-line units over the bus).
+func (c *CPU) UncachedReadBlock(addr uint64, p []byte) {
+	c.access(addr, uint64(len(p)), memsys.UncachedRead)
+	c.store.Read(addr, p)
+}
+
+// UncachedWriteBlock writes a block around the caches.
+func (c *CPU) UncachedWriteBlock(addr uint64, p []byte) {
+	c.access(addr, uint64(len(p)), memsys.UncachedWrite)
+	c.store.Write(addr, p)
+}
+
+// StallUntil advances the clock to t, recording the wait as non-overlap
+// time (stalled on Active-Page computation). It is a no-op if t is in the
+// past.
+func (c *CPU) StallUntil(t sim.Time) {
+	if t > c.now {
+		c.Stats.NonOverlapTime += t - c.now
+		c.now = t
+	}
+}
+
+// MediationWork charges d of processor time spent servicing inter-page
+// communication on behalf of the memory system.
+func (c *CPU) MediationWork(d sim.Duration) {
+	c.now += d
+	c.Stats.MediationTime += d
+}
+
+// AdvanceTo moves the clock forward without accounting (used by harnesses
+// to align phases); it never moves backward.
+func (c *CPU) AdvanceTo(t sim.Time) {
+	if t > c.now {
+		c.now = t
+	}
+}

@@ -1,0 +1,130 @@
+// Package radram assembles the complete simulated machines of the paper's
+// evaluation: a workstation with a conventional memory system, and the same
+// workstation with a RADram (Reconfigurable Architecture DRAM) memory
+// system implementing Active Pages.
+//
+// The reference configuration is Table 1:
+//
+//	CPU clock     1 GHz
+//	L1 I-cache    64K (2-way)
+//	L1 D-cache    64K (2-way), varied 32K-256K
+//	L2 cache      1M (4-way), varied 256K-4M
+//	Reconf logic  100 MHz, varied 10-500 MHz
+//	Cache miss    50 ns, varied 0-600 ns
+//	Memory bus    32 bits / 10 ns
+//
+// RADram pairs each 512 KB DRAM subarray with 256 LEs of reconfigurable
+// logic; package core provides the Active-Page semantics on top.
+package radram
+
+import (
+	"fmt"
+
+	"activepages/internal/core"
+	"activepages/internal/mem"
+	"activepages/internal/memsys"
+	"activepages/internal/proc"
+	"activepages/internal/sim"
+)
+
+// Config is the full machine configuration.
+type Config struct {
+	CPU proc.Config
+	Mem memsys.Config
+	AP  core.Config
+}
+
+// DefaultConfig returns the Table 1 reference machine.
+func DefaultConfig() Config {
+	return Config{
+		CPU: proc.DefaultConfig(),
+		Mem: memsys.DefaultConfig(),
+		AP:  core.DefaultConfig(),
+	}
+}
+
+// WithL1D returns the configuration with the L1 data cache resized
+// (Figure 5 sweep: 32K-256K).
+func (c Config) WithL1D(bytes uint64) Config {
+	c.Mem.L1D.SizeBytes = bytes
+	return c
+}
+
+// WithL2 returns the configuration with the L2 resized (Section 7.3 sweep:
+// 256K-4M).
+func (c Config) WithL2(bytes uint64) Config {
+	c.Mem.L2.SizeBytes = bytes
+	return c
+}
+
+// WithMissLatency returns the configuration with the DRAM access (cache
+// miss) latency set (Figure 8 sweep: 0-600 ns).
+func (c Config) WithMissLatency(d sim.Duration) Config {
+	c.Mem.DRAM.AccessTime = d
+	if c.Mem.DRAM.RowHitTime > d {
+		c.Mem.DRAM.RowHitTime = d
+	}
+	return c
+}
+
+// WithLogicDivisor returns the configuration with the reconfigurable-logic
+// clock divisor set (Figure 9 sweep; reference 10 = 100 MHz).
+func (c Config) WithLogicDivisor(div uint64) Config {
+	c.AP.LogicDivisor = div
+	return c
+}
+
+// WithPageBytes returns the configuration with a different superpage size.
+// Large problem-size sweeps use scaled-down pages so host memory stays
+// bounded; speedup-versus-page-count shapes are preserved because both the
+// conventional and Active-Page work per page scale together.
+func (c Config) WithPageBytes(bytes uint64) Config {
+	c.AP.PageBytes = bytes
+	c.Mem.DRAM.SubarrayBytes = bytes
+	return c
+}
+
+// Machine is one simulated workstation.
+type Machine struct {
+	Config Config
+	Store  *mem.Store
+	Hier   *memsys.Hierarchy
+	CPU    *proc.CPU
+	// AP is the Active-Page system; nil on a conventional machine.
+	AP *core.System
+}
+
+// NewConventional builds a machine with a conventional memory system.
+func NewConventional(cfg Config) *Machine {
+	store := mem.NewStore()
+	hier := memsys.New(cfg.Mem)
+	cpu := proc.New(cfg.CPU, hier, store)
+	return &Machine{Config: cfg, Store: store, Hier: hier, CPU: cpu}
+}
+
+// New builds a machine with a RADram Active-Page memory system.
+func New(cfg Config) (*Machine, error) {
+	m := NewConventional(cfg)
+	ap, err := core.NewSystem(cfg.AP, m.CPU)
+	if err != nil {
+		return nil, fmt.Errorf("radram: %w", err)
+	}
+	m.AP = ap
+	return m, nil
+}
+
+// MustNew is New for configurations known to be valid.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// PageBytes returns the machine's superpage size.
+func (m *Machine) PageBytes() uint64 { return m.Config.AP.PageBytes }
+
+// Elapsed returns the processor's current time — the execution time of
+// whatever workload has been run on the machine.
+func (m *Machine) Elapsed() sim.Time { return m.CPU.Now() }

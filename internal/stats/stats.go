@@ -1,0 +1,110 @@
+// Package stats provides the small statistical toolkit the evaluation
+// harness needs: Pearson correlation (Table 4's model-vs-simulation
+// column), linear fits, and series summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Pearson returns the correlation coefficient between xs and ys. It
+// returns an error for mismatched lengths, fewer than two points, or a
+// zero-variance input (where correlation is undefined).
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: mismatched lengths %d and %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: correlation needs at least 2 points, have %d", len(xs))
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("stats: zero variance input")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// LinearFit returns the least-squares slope and intercept of y on x.
+func LinearFit(xs, ys []float64) (slope, intercept float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, fmt.Errorf("stats: bad fit input (%d, %d points)", len(xs), len(ys))
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx float64
+	for i := range xs {
+		sxy += (xs[i] - mx) * (ys[i] - my)
+		sxx += (xs[i] - mx) * (xs[i] - mx)
+	}
+	if sxx == 0 {
+		return 0, 0, fmt.Errorf("stats: degenerate x values")
+	}
+	slope = sxy / sxx
+	return slope, my - slope*mx, nil
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// MaxIndex returns the index of the maximum value, or -1 for empty input.
+func MaxIndex(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	_ = xs[best]
+	return best
+}

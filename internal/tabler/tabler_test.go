@@ -1,0 +1,104 @@
+package tabler
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("demo", "Name", "Value")
+	tb.Row("alpha", 1)
+	tb.Row("beta", 2.5)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "Name") || !strings.Contains(out, "Value") {
+		t.Error("headers missing")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.5") {
+		t.Error("rows missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableColumnAlignment(t *testing.T) {
+	tb := New("", "A", "B")
+	tb.Row("xxxxxxxx", 1)
+	tb.Row("y", 2)
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	// Column B starts at the same offset in both data rows.
+	r1, r2 := lines[2], lines[3]
+	if strings.Index(r1, "1") != strings.Index(r2, "2") {
+		t.Fatalf("columns misaligned:\n%s", tb.String())
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{12345, "12345"},
+		{42.42, "42.4"},
+		{3.14159, "3.14"},
+		{-1234.5, "-1234"}, // %.0f rounds half to even
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.in); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := NewFigure("speedups", "pages", "speedup")
+	f.X = []float64{1, 2, 4}
+	f.Add("app-a", []float64{1.5, 3, 6})
+	f.Add("app-b", []float64{2, 4})
+	out := f.String()
+	if !strings.Contains(out, "speedups") || !strings.Contains(out, "pages") {
+		t.Error("labels missing")
+	}
+	if !strings.Contains(out, "app-a") || !strings.Contains(out, "app-b") {
+		t.Error("series names missing")
+	}
+	// Short series pad with "-".
+	if !strings.Contains(out, "-") {
+		t.Error("missing-point placeholder absent")
+	}
+}
+
+func TestWriteToCountsBytes(t *testing.T) {
+	tb := New("t", "A")
+	tb.Row(1)
+	var sb strings.Builder
+	n, err := tb.WriteTo(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(sb.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", n, sb.Len())
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := NewFigure("t", "pages", "speedup")
+	f.X = []float64{1, 2}
+	f.Add("app,weird", []float64{1.5, 3})
+	csv := f.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != `pages,"app,weird"` {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1,1.5" || lines[2] != "2,3" {
+		t.Fatalf("rows = %q %q", lines[1], lines[2])
+	}
+}

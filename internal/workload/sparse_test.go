@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBoeingStyleStructure(t *testing.T) {
+	m := BoeingStyle(1, 200, 16)
+	if m.Rows != 200 || m.Cols != 200 {
+		t.Fatal("dimensions wrong")
+	}
+	if m.RowPtr[0] != 0 || int(m.RowPtr[200]) != m.NNZ() {
+		t.Fatal("row pointers malformed")
+	}
+	for i := 0; i < 200; i++ {
+		s, e := m.RowPtr[i], m.RowPtr[i+1]
+		if e < s {
+			t.Fatalf("row %d has negative length", i)
+		}
+		hasDiag := false
+		for j := s; j < e; j++ {
+			if j > s && m.Col[j] < m.Col[j-1] {
+				t.Fatalf("row %d columns not sorted", i)
+			}
+			if int(m.Col[j]) == i {
+				hasDiag = true
+			}
+			if m.Col[j] < 0 || int(m.Col[j]) >= 200 {
+				t.Fatalf("row %d column %d out of range", i, m.Col[j])
+			}
+		}
+		if !hasDiag {
+			t.Fatalf("row %d missing diagonal entry", i)
+		}
+	}
+}
+
+func TestBoeingBandedness(t *testing.T) {
+	m := BoeingStyle(2, 500, 8)
+	inBand, total := 0, 0
+	for i := 0; i < 500; i++ {
+		for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+			total++
+			d := int(m.Col[j]) - i
+			if d >= -8 && d <= 8 {
+				inBand++
+			}
+		}
+	}
+	if float64(inBand)/float64(total) < 0.8 {
+		t.Fatalf("only %d/%d nonzeros in band; matrix is not banded", inBand, total)
+	}
+}
+
+func TestSimplexStyleStructure(t *testing.T) {
+	m := SimplexStyle(1, 100, 4096, 12)
+	if m.Rows != 100 || m.Cols != 4096 {
+		t.Fatal("dimensions wrong")
+	}
+	for i := 0; i < 100; i++ {
+		seen := map[int32]bool{}
+		for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+			if seen[m.Col[j]] {
+				t.Fatalf("row %d has duplicate column %d", i, m.Col[j])
+			}
+			seen[m.Col[j]] = true
+			if v := m.Val[j]; v != 1 && v != -1 {
+				t.Fatalf("row %d has non-unit coefficient %v", i, v)
+			}
+		}
+		if m.RowNNZ(i) == 0 || m.RowNNZ(i) > 12 {
+			t.Fatalf("row %d has %d nonzeros", i, m.RowNNZ(i))
+		}
+	}
+}
+
+func TestSparseDotReference(t *testing.T) {
+	ca := []int32{1, 3, 5}
+	va := []float64{1, 2, 3}
+	cb := []int32{2, 3, 5, 9}
+	vb := []float64{10, 20, 30, 40}
+	// Matches at 3 (2*20) and 5 (3*30) = 130.
+	if got := SparseDotReference(ca, va, cb, vb); got != 130 {
+		t.Fatalf("dot = %v, want 130", got)
+	}
+	if SparseDotReference(nil, nil, cb, vb) != 0 {
+		t.Fatal("empty row dot should be 0")
+	}
+}
+
+// Property: the merge-based dot equals a map-based dot for generated rows.
+func TestSparseDotMatchesMapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		m := BoeingStyle(seed, 50, 6)
+		for i := 0; i < 49; i++ {
+			ca, va := m.Col[m.RowPtr[i]:m.RowPtr[i+1]], m.Val[m.RowPtr[i]:m.RowPtr[i+1]]
+			cb, vb := m.Col[m.RowPtr[i+1]:m.RowPtr[i+2]], m.Val[m.RowPtr[i+1]:m.RowPtr[i+2]]
+			byCol := map[int32]float64{}
+			for k, c := range ca {
+				byCol[c] = va[k]
+			}
+			want := 0.0
+			for k, c := range cb {
+				want += byCol[c] * vb[k]
+			}
+			got := SparseDotReference(ca, va, cb, vb)
+			if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMPEGFrame(t *testing.T) {
+	f := NewMPEGFrame(1, 10)
+	if len(f.Reference) != 640 || len(f.Correction) != 640 {
+		t.Fatal("frame sizes wrong")
+	}
+	g := NewMPEGFrame(1, 10)
+	for i := range f.Reference {
+		if f.Reference[i] != g.Reference[i] {
+			t.Fatal("frames not deterministic")
+		}
+	}
+}
+
+func TestApplyCorrectionReferenceSaturates(t *testing.T) {
+	f := &MPEGFrame{
+		Blocks:     1,
+		Reference:  make([]int16, 64),
+		Correction: make([]int16, 64),
+	}
+	f.Reference[0], f.Correction[0] = 30000, 10000
+	f.Reference[1], f.Correction[1] = -30000, -10000
+	f.Reference[2], f.Correction[2] = 5, -3
+	out := f.ApplyCorrectionReference()
+	if out[0] != 32767 {
+		t.Errorf("positive overflow = %d, want 32767", out[0])
+	}
+	if out[1] != -32768 {
+		t.Errorf("negative overflow = %d, want -32768", out[1])
+	}
+	if out[2] != 2 {
+		t.Errorf("plain add = %d, want 2", out[2])
+	}
+}
