@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet bench paper clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l .
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Regenerate every table and figure of the paper's evaluation.
+paper:
+	$(GO) run ./cmd/apbench -experiment all
+
+clean:
+	$(GO) clean ./...

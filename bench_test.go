@@ -14,6 +14,7 @@ import (
 	"activepages/internal/experiments"
 	"activepages/internal/logic"
 	"activepages/internal/model"
+	"activepages/internal/run"
 	"activepages/internal/sim"
 )
 
@@ -52,7 +53,7 @@ func BenchmarkTable3Synthesis(b *testing.B) {
 func BenchmarkTable4Model(b *testing.B) {
 	var worst float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table4(experiments.DefaultConfig(), 8,
+		rows, err := experiments.Table4(run.Parallel(), experiments.DefaultConfig(), 8,
 			[]float64{1, 4, 16, 64})
 		if err != nil {
 			b.Fatal(err)
@@ -75,7 +76,7 @@ func BenchmarkFig3Speedup(b *testing.B) {
 		b.Run(bench.Name(), func(b *testing.B) {
 			var last float64
 			for i := 0; i < b.N; i++ {
-				s, err := experiments.RunSweep(bench, experiments.DefaultConfig(),
+				s, err := experiments.RunSweep(nil, bench, experiments.DefaultConfig(),
 					experiments.QuickPagePoints())
 				if err != nil {
 					b.Fatal(err)
@@ -110,7 +111,7 @@ func BenchmarkFig4Nonoverlap(b *testing.B) {
 // BenchmarkFig5CacheSweep runs the L1 data-cache size study (Figure 5).
 func BenchmarkFig5CacheSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, _, err := experiments.CacheSweep(
+		_, _, err := experiments.CacheSweep(run.Parallel(),
 			[]string{"database", "median-kernel", "median-total"},
 			experiments.DefaultConfig(), "L1D",
 			[]uint64{32 * 1024, 64 * 1024, 256 * 1024}, 8)
@@ -123,7 +124,7 @@ func BenchmarkFig5CacheSweep(b *testing.B) {
 // BenchmarkFig5L2Sweep runs the Section 7.3 L2 study.
 func BenchmarkFig5L2Sweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, _, err := experiments.CacheSweep(
+		_, _, err := experiments.CacheSweep(run.Parallel(),
 			[]string{"database", "median-kernel"},
 			experiments.DefaultConfig(), "L2",
 			[]uint64{256 * 1024, 1024 * 1024, 4 * 1024 * 1024}, 8)
@@ -138,7 +139,7 @@ func BenchmarkFig5L2Sweep(b *testing.B) {
 func BenchmarkFig8MissLatency(b *testing.B) {
 	lats := []sim.Duration{0, 50 * sim.Nanosecond, 300 * sim.Nanosecond, 600 * sim.Nanosecond}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.MissLatencySweep(experiments.DefaultConfig(), lats, 8); err != nil {
+		if _, err := experiments.MissLatencySweep(run.Parallel(), experiments.DefaultConfig(), lats, 8); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -149,7 +150,7 @@ func BenchmarkFig8MissLatency(b *testing.B) {
 func BenchmarkFig9LogicSpeed(b *testing.B) {
 	divs := []uint64{2, 10, 50, 100}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.LogicSpeedSweep(experiments.DefaultConfig(), divs, 8); err != nil {
+		if _, err := experiments.LogicSpeedSweep(run.Parallel(), experiments.DefaultConfig(), divs, 8); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -173,10 +174,10 @@ func BenchmarkModelRecurrence(b *testing.B) {
 func BenchmarkAblations(b *testing.B) {
 	cfg := experiments.DefaultConfig()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationActivation(cfg, 8); err != nil {
+		if _, err := experiments.AblationActivation(nil, cfg, 8); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := experiments.AblationInterPage(cfg, 8); err != nil {
+		if _, err := experiments.AblationInterPage(nil, cfg, 8); err != nil {
 			b.Fatal(err)
 		}
 	}

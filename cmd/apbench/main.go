@@ -5,12 +5,18 @@
 // Usage:
 //
 //	apbench -experiment all
-//	apbench -experiment fig3 [-quick] [-pagebytes 65536]
-//	apbench -experiment table4
+//	apbench -experiment fig3 [-quick] [-pagebytes 65536] [-jobs 8]
+//	apbench -experiment table4 -json
 //	apbench -experiment ablations
 //
 // Experiments: table1 table2 table3 table4 crossover fig3 fig4 fig5 fig8
 // fig9 smp ablations all.
+//
+// Every experiment is a grid of independent simulations executed across
+// -jobs worker goroutines (default: one per CPU); the merged output is
+// byte-identical to a serial run. -json appends one machine-readable
+// metrics snapshot — every machine component's counters summed over all
+// simulations of the invocation — after the human-readable tables.
 package main
 
 import (
@@ -18,9 +24,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"activepages/internal/experiments"
 	"activepages/internal/radram"
+	"activepages/internal/run"
 	"activepages/internal/tabler"
 )
 
@@ -33,6 +41,8 @@ func main() {
 		regions = flag.Bool("regions", false, "with fig3: print region classification")
 		l2      = flag.Bool("l2", false, "with fig5: sweep the L2 instead of the L1D")
 		csvDir  = flag.String("csv", "", "also write each figure as CSV into this directory")
+		jobs    = flag.Int("jobs", runtime.NumCPU(), "simulation worker-pool width")
+		jsonOut = flag.Bool("json", false, "append a merged metrics snapshot as JSON")
 	)
 	flag.Parse()
 
@@ -42,27 +52,41 @@ func main() {
 		points = experiments.QuickPagePoints()
 	}
 
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "apbench:", err)
-			os.Exit(1)
-		}
+	r := &run.Runner{Jobs: *jobs}
+	if *jsonOut {
+		r.WithMetrics()
 	}
-	if err := run(*experiment, cfg, points, *regions, *l2, *csvDir); err != nil {
+	if err := runExperiment(r, *experiment, cfg, points, *regions, *l2, *csvDir); err != nil {
 		fmt.Fprintln(os.Stderr, "apbench:", err)
 		os.Exit(1)
 	}
+	if *jsonOut {
+		j, err := r.Metrics.Snapshot().JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n##### metrics (json) #####\n%s\n", j)
+	}
 }
 
-// writeCSV saves a figure to dir/name.csv when dir is set.
+// writeCSV saves a figure to dir/name.csv when dir is set, creating the
+// parent directories as needed.
 func writeCSV(dir, name string, f *tabler.Figure) error {
 	if dir == "" {
 		return nil
 	}
-	return os.WriteFile(filepath.Join(dir, name+".csv"), []byte(f.CSV()), 0o644)
+	path := filepath.Join(dir, name+".csv")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return nil
 }
 
-func run(experiment string, cfg radram.Config, points []float64, regions, l2 bool, csvDir string) error {
+func runExperiment(r *run.Runner, experiment string, cfg radram.Config, points []float64, regions, l2 bool, csvDir string) error {
 	out := os.Stdout
 	switch experiment {
 	case "table1":
@@ -72,13 +96,13 @@ func run(experiment string, cfg radram.Config, points []float64, regions, l2 boo
 	case "table3":
 		experiments.Table3().WriteTo(out)
 	case "table4":
-		rows, err := experiments.Table4(cfg, 16, points)
+		rows, err := experiments.Table4(r, cfg, 16, points)
 		if err != nil {
 			return err
 		}
 		experiments.RenderTable4(rows).WriteTo(out)
 	case "fig3", "fig4":
-		sweeps, err := experiments.RunAllSweeps(cfg, points)
+		sweeps, err := experiments.RunAllSweeps(r, cfg, points)
 		if err != nil {
 			return err
 		}
@@ -106,7 +130,7 @@ func run(experiment string, cfg radram.Config, points []float64, regions, l2 boo
 			level, sizes = "L2", experiments.DefaultL2Sizes()
 		}
 		names := []string{"database", "median-kernel", "median-total", "array", "dynamic-prog"}
-		conv, rad, err := experiments.CacheSweep(names, cfg, level, sizes, 16)
+		conv, rad, err := experiments.CacheSweep(r, names, cfg, level, sizes, 16)
 		if err != nil {
 			return err
 		}
@@ -120,7 +144,7 @@ func run(experiment string, cfg radram.Config, points []float64, regions, l2 boo
 			return err
 		}
 	case "fig8":
-		f, err := experiments.MissLatencySweep(cfg, experiments.DefaultMissLatencies(), 16)
+		f, err := experiments.MissLatencySweep(r, cfg, experiments.DefaultMissLatencies(), 16)
 		if err != nil {
 			return err
 		}
@@ -129,7 +153,7 @@ func run(experiment string, cfg radram.Config, points []float64, regions, l2 boo
 			return err
 		}
 	case "fig9":
-		f, err := experiments.LogicSpeedSweep(cfg, experiments.DefaultLogicDivisors(), 16)
+		f, err := experiments.LogicSpeedSweep(r, cfg, experiments.DefaultLogicDivisors(), 16)
 		if err != nil {
 			return err
 		}
@@ -138,51 +162,51 @@ func run(experiment string, cfg radram.Config, points []float64, regions, l2 boo
 			return err
 		}
 	case "crossover":
-		rows, err := experiments.CrossoverStudy(cfg, 16, points)
+		rows, err := experiments.CrossoverStudy(r, cfg, 16, points)
 		if err != nil {
 			return err
 		}
 		end := points[len(points)-1]
 		experiments.RenderCrossover(rows, end).WriteTo(out)
 	case "smp":
-		f, err := experiments.SMPStudy(cfg, 32, []int{1, 2, 4, 8})
+		f, err := experiments.SMPStudy(r, cfg, 32, []int{1, 2, 4, 8})
 		if err != nil {
 			return err
 		}
 		f.WriteTo(out)
 	case "ablations":
-		a1, err := experiments.AblationActivation(cfg, 16)
+		a1, err := experiments.AblationActivation(r, cfg, 16)
 		if err != nil {
 			return err
 		}
 		a1.WriteTo(out)
-		a2, err := experiments.AblationInterPage(cfg, 16)
+		a2, err := experiments.AblationInterPage(r, cfg, 16)
 		if err != nil {
 			return err
 		}
 		a2.WriteTo(out)
-		a3, err := experiments.AblationBind(cfg, 16)
+		a3, err := experiments.AblationBind(r, cfg, 16)
 		if err != nil {
 			return err
 		}
 		a3.WriteTo(out)
-		a4, err := experiments.AblationPageSize(4 * 1024 * 1024)
+		a4, err := experiments.AblationPageSize(r, 4*1024*1024)
 		if err != nil {
 			return err
 		}
 		a4.WriteTo(out)
-		a5, err := experiments.AblationMMXWidth(cfg, 16)
+		a5, err := experiments.AblationMMXWidth(r, cfg, 16)
 		if err != nil {
 			return err
 		}
 		a5.WriteTo(out)
 		experiments.SwapCost(radram.DefaultConfig()).WriteTo(out)
-		experiments.PagingStudy(8, 3500).WriteTo(out)
+		experiments.PagingStudy(r, 8, 3500).WriteTo(out)
 	case "all":
 		for _, e := range []string{"table1", "table2", "table3", "fig3", "fig4",
 			"table4", "crossover", "fig5", "fig8", "fig9", "smp", "ablations"} {
 			fmt.Fprintf(out, "\n##### %s #####\n", e)
-			if err := run(e, cfg, points, regions, l2, csvDir); err != nil {
+			if err := runExperiment(r, e, cfg, points, regions, l2, csvDir); err != nil {
 				return err
 			}
 		}

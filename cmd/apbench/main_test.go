@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"activepages/internal/tabler"
+)
+
+func sampleFigure() *tabler.Figure {
+	f := tabler.NewFigure("sample", "x", "y")
+	f.X = []float64{1, 2}
+	f.Add("series", []float64{3, 4})
+	return f
+}
+
+func TestWriteCSVCreatesParentDirs(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "deep", "nested")
+	if err := writeCSV(dir, "fig", sampleFigure()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "series") {
+		t.Fatalf("CSV missing series column:\n%s", data)
+	}
+}
+
+func TestWriteCSVEmptyDirIsNoop(t *testing.T) {
+	if err := writeCSV("", "fig", sampleFigure()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteCSVReportsWriteError(t *testing.T) {
+	// A regular file where the directory should be makes MkdirAll fail.
+	base := t.TempDir()
+	blocker := filepath.Join(base, "blocked")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := writeCSV(filepath.Join(blocker, "sub"), "fig", sampleFigure())
+	if err == nil {
+		t.Fatal("expected an error when the CSV directory cannot be created")
+	}
+	if !strings.Contains(err.Error(), "fig.csv") {
+		t.Fatalf("error should name the target file, got: %v", err)
+	}
+}

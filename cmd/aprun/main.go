@@ -16,8 +16,8 @@ import (
 
 	"activepages/internal/asm"
 	"activepages/internal/cpu"
-	"activepages/internal/mem"
 	"activepages/internal/memsys"
+	"activepages/internal/run"
 )
 
 func main() {
@@ -47,9 +47,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	store := mem.NewStore()
-	hier := memsys.New(memsys.DefaultConfig())
-	core := cpu.New(cpu.DefaultConfig(), hier, store)
+	isa := run.NewISA(cpu.DefaultConfig(), memsys.DefaultConfig())
+	core, hier := isa.Core, isa.Hier
 	core.Load(img)
 	n, err := core.Run(*maxInstr)
 	os.Stdout.Write(core.Output.Bytes())

@@ -15,6 +15,7 @@ import (
 
 	"activepages/internal/experiments"
 	"activepages/internal/radram"
+	"activepages/internal/run"
 	"activepages/internal/sim"
 )
 
@@ -42,17 +43,16 @@ func main() {
 		WithL1D(*l1d).
 		WithL2(*l2)
 
-	conv := radram.NewConventional(cfg)
-	if err := b.Run(conv, *pages); err != nil {
-		fmt.Fprintln(os.Stderr, "apsim: conventional:", err)
-		os.Exit(1)
-	}
-	rad, err := radram.New(cfg)
+	conv, rad, err := run.NewPair(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "apsim:", err)
 		os.Exit(1)
 	}
-	if err := b.Run(rad, *pages); err != nil {
+	if err := b.Run(conv.Machine, *pages); err != nil {
+		fmt.Fprintln(os.Stderr, "apsim: conventional:", err)
+		os.Exit(1)
+	}
+	if err := b.Run(rad.Machine, *pages); err != nil {
 		fmt.Fprintln(os.Stderr, "apsim: radram:", err)
 		os.Exit(1)
 	}

@@ -15,6 +15,7 @@ import (
 
 	"activepages/internal/apps/lcs"
 	"activepages/internal/radram"
+	"activepages/internal/run"
 	"activepages/internal/workload"
 )
 
@@ -29,15 +30,14 @@ func main() {
 	fmt.Printf("sequence B: %s...\n", b[:min(32, len(b))])
 	fmt.Printf("LCS length of the 40-mer pair: %d\n\n", workload.LCSReference(a, b))
 
-	conv := radram.NewConventional(cfg)
-	if err := (lcs.Benchmark{}).Run(conv, pages); err != nil {
-		log.Fatal(err)
-	}
-	rad, err := radram.New(cfg)
+	conv, rad, err := run.NewPair(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := (lcs.Benchmark{}).Run(rad, pages); err != nil {
+	if err := (lcs.Benchmark{}).Run(conv.Machine, pages); err != nil {
+		log.Fatal(err)
+	}
+	if err := (lcs.Benchmark{}).Run(rad.Machine, pages); err != nil {
 		log.Fatal(err)
 	}
 

@@ -11,6 +11,7 @@ import (
 
 	"activepages/internal/apps/median"
 	"activepages/internal/radram"
+	"activepages/internal/run"
 )
 
 func main() {
@@ -19,16 +20,14 @@ func main() {
 	cfg := radram.DefaultConfig().WithPageBytes(64 * 1024)
 	const pages = 24 // image sized to 24 superpages
 
-	conv := radram.NewConventional(cfg)
-	if err := (median.Benchmark{}).Run(conv, pages); err != nil {
-		log.Fatal(err)
-	}
-
-	rad, err := radram.New(cfg)
+	conv, rad, err := run.NewPair(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := (median.Benchmark{}).Run(rad, pages); err != nil {
+	if err := (median.Benchmark{}).Run(conv.Machine, pages); err != nil {
+		log.Fatal(err)
+	}
+	if err := (median.Benchmark{}).Run(rad.Machine, pages); err != nil {
 		log.Fatal(err)
 	}
 

@@ -17,6 +17,7 @@ import (
 
 	"activepages/internal/apps/mpeg"
 	"activepages/internal/radram"
+	"activepages/internal/run"
 	"activepages/internal/workload"
 )
 
@@ -25,9 +26,9 @@ func main() {
 
 	// Stage 1: motion detection. Pages sweep the +/-4 pixel search window
 	// for every 8x8 block in parallel.
-	m1 := radram.MustNew(cfg)
+	m1 := run.MustNew(cfg)
 	ref, cur := mpeg.MotionFrame(42, 128)
-	vectors, err := mpeg.RunMotion(m1, ref, cur, 128)
+	vectors, err := mpeg.RunMotion(m1.Machine, ref, cur, 128)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,20 +46,20 @@ func main() {
 		len(vectors), best[0], best[1], n, m1.Elapsed())
 
 	// Stage 2: motion-correction application (wide MMX saturating adds).
-	m2 := radram.MustNew(cfg)
-	if err := (mpeg.Benchmark{}).Run(m2, 8); err != nil {
+	m2 := run.MustNew(cfg)
+	if err := (mpeg.Benchmark{}).Run(m2.Machine, 8); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("correction (MMX):   8 pages of P/B-frame corrections, %v\n", m2.Elapsed())
 
 	// Stage 3: run-length encoding of the (mostly zero) quantized data.
-	m3 := radram.MustNew(cfg)
+	m3 := run.MustNew(cfg)
 	frame := workload.NewMPEGFrame(42, 600)
 	quantized := make([]int16, len(frame.Reference))
 	for i, v := range frame.Reference {
 		quantized[i] = v / 64 // heavy quantization: long zero runs
 	}
-	enc, err := mpeg.RunRLE(m3, &workload.MPEGFrame{
+	enc, err := mpeg.RunRLE(m3.Machine, &workload.MPEGFrame{
 		Blocks: frame.Blocks, Reference: quantized, Correction: frame.Correction,
 	})
 	if err != nil {
@@ -73,12 +74,12 @@ func main() {
 
 	// Stage 4: Huffman. The processor builds the canonical table; pages
 	// bit-pack in parallel.
-	m4 := radram.MustNew(cfg)
+	m4 := run.MustNew(cfg)
 	bytesIn := make([]byte, len(quantized))
 	for i, v := range quantized {
 		bytesIn[i] = byte(v)
 	}
-	table, results, err := mpeg.RunHuffman(m4, bytesIn)
+	table, results, err := mpeg.RunHuffman(m4.Machine, bytesIn)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,6 +16,7 @@ import (
 	"activepages/internal/core"
 	"activepages/internal/logic"
 	"activepages/internal/radram"
+	"activepages/internal/run"
 )
 
 // countFn is the page circuit: count bytes equal to the key and leave the
@@ -54,7 +55,7 @@ func (countFn) Run(ctx *core.PageContext) (core.Result, error) {
 func main() {
 	// A workstation with a RADram memory system at the paper's Table 1
 	// reference parameters (1 GHz CPU, 100 MHz logic, 512 KB pages).
-	m, err := radram.New(radram.DefaultConfig())
+	m, err := run.New(radram.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,6 +14,7 @@ import (
 
 	"activepages/internal/apps/matrix"
 	"activepages/internal/radram"
+	"activepages/internal/run"
 )
 
 func main() {
@@ -22,15 +23,14 @@ func main() {
 
 	for _, v := range []matrix.Variant{matrix.Boeing, matrix.Simplex} {
 		b := matrix.Benchmark{Variant: v}
-		conv := radram.NewConventional(cfg)
-		if err := b.Run(conv, pages); err != nil {
-			log.Fatal(err)
-		}
-		rad, err := radram.New(cfg)
+		conv, rad, err := run.NewPair(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := b.Run(rad, pages); err != nil {
+		if err := b.Run(conv.Machine, pages); err != nil {
+			log.Fatal(err)
+		}
+		if err := b.Run(rad.Machine, pages); err != nil {
 			log.Fatal(err)
 		}
 		rs := rad.CPU.Stats

@@ -13,19 +13,22 @@ import (
 
 	"activepages/internal/apps/array"
 	"activepages/internal/radram"
+	"activepages/internal/run"
 )
 
 func main() {
 	cfg := radram.DefaultConfig().WithPageBytes(64 * 1024)
 	const n = 200_000 // ~12 superpages of 32-bit elements
 
-	conv := radram.NewConventional(cfg)
-	rad := radram.MustNew(cfg)
-	c, err := array.NewConventional(conv, n)
+	conv, rad, err := run.NewPair(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	a, err := array.NewActive(rad, n)
+	c, err := array.NewConventional(conv.Machine, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := array.NewActive(rad.Machine, n)
 	if err != nil {
 		log.Fatal(err)
 	}

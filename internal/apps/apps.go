@@ -12,7 +12,9 @@ import (
 	"fmt"
 
 	"activepages/internal/core"
+	"activepages/internal/obs"
 	"activepages/internal/radram"
+	"activepages/internal/run"
 	"activepages/internal/sim"
 )
 
@@ -35,6 +37,14 @@ func (p Partitioning) String() string {
 }
 
 // Benchmark is one application kernel.
+//
+// Isolation invariant: a Benchmark must be safe to instantiate per run.
+// Implementations are small value types holding only configuration; all
+// run state (working data, page groups, caches) must live on the machine
+// passed to Run or in locals, never in package-level variables or in a
+// mem.Store shared across runs. The evaluation harness executes many
+// Measure calls concurrently on a worker pool (internal/run), each against
+// freshly built machines, and relies on this invariant for determinism.
 type Benchmark interface {
 	// Name is the kernel's identifier (matching the paper's figures, e.g.
 	// "database", "matrix-boeing").
@@ -76,16 +86,35 @@ func (m Measurement) Speedup() float64 {
 // Measure runs b at the given problem size on both machines built from cfg
 // and collects the paper's metrics.
 func Measure(b Benchmark, cfg radram.Config, pages float64) (Measurement, error) {
-	conv := radram.NewConventional(cfg)
-	if err := b.Run(conv, pages); err != nil {
-		return Measurement{}, fmt.Errorf("%s (conventional, %g pages): %w", b.Name(), pages, err)
-	}
-	rad, err := radram.New(cfg)
+	m, _, _, err := measure(b, cfg, pages)
+	return m, err
+}
+
+// MeasureObserved is Measure plus the pair's merged metrics snapshot: the
+// conventional machine's counters under "conv.", the RADram machine's
+// under "rad.".
+func MeasureObserved(b Benchmark, cfg radram.Config, pages float64) (Measurement, obs.Snapshot, error) {
+	m, conv, rad, err := measure(b, cfg, pages)
 	if err != nil {
-		return Measurement{}, err
+		return m, nil, err
 	}
-	if err := b.Run(rad, pages); err != nil {
-		return Measurement{}, fmt.Errorf("%s (radram, %g pages): %w", b.Name(), pages, err)
+	snap := conv.Snapshot().WithPrefix("conv.")
+	snap.Merge(rad.Snapshot().WithPrefix("rad."))
+	return m, snap, nil
+}
+
+// measure builds the machine pair through the run layer, executes b on
+// both, and extracts the paper's metrics.
+func measure(b Benchmark, cfg radram.Config, pages float64) (Measurement, *run.Machine, *run.Machine, error) {
+	conv, rad, err := run.NewPair(cfg)
+	if err != nil {
+		return Measurement{}, nil, nil, err
+	}
+	if err := b.Run(conv.Machine, pages); err != nil {
+		return Measurement{}, nil, nil, fmt.Errorf("%s (conventional, %g pages): %w", b.Name(), pages, err)
+	}
+	if err := b.Run(rad.Machine, pages); err != nil {
+		return Measurement{}, nil, nil, fmt.Errorf("%s (radram, %g pages): %w", b.Name(), pages, err)
 	}
 
 	meas := Measurement{
@@ -126,7 +155,7 @@ func Measure(b Benchmark, cfg radram.Config, pages float64) (Measurement, error)
 			meas.PostTime = (post - actTotal) / sim.Duration(nPages)
 		}
 	}
-	return meas, nil
+	return meas, conv, rad, nil
 }
 
 // KnownGroups lists every group id a benchmark may allocate, so Measure

@@ -8,7 +8,10 @@
 // has a single processor.
 package bus
 
-import "activepages/internal/sim"
+import (
+	"activepages/internal/obs"
+	"activepages/internal/sim"
+)
 
 // Config describes the bus.
 type Config struct {
@@ -49,6 +52,13 @@ func New(cfg Config) *Bus {
 
 // Config returns the bus configuration.
 func (b *Bus) Config() Config { return b.cfg }
+
+// Observe registers the bus's counters under prefix (e.g. "mem.bus").
+func (b *Bus) Observe(r *obs.Registry, prefix string) {
+	r.Counter(prefix+".transfers", func() uint64 { return b.Stats.Transfers })
+	r.Counter(prefix+".bytes", func() uint64 { return b.Stats.Bytes })
+	r.Timer(prefix+".busy", func() sim.Duration { return b.Stats.BusyTime })
+}
 
 // TransferTime returns the time to move n bytes across the bus, rounded up
 // to whole beats, and records the traffic.

@@ -10,6 +10,8 @@ package cache
 
 import (
 	"fmt"
+
+	"activepages/internal/obs"
 )
 
 // Config describes one cache level.
@@ -46,6 +48,14 @@ type Stats struct {
 
 // Accesses returns total accesses.
 func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// Observe registers the cache's counters under prefix (e.g. "mem.l1d").
+func (c *Cache) Observe(r *obs.Registry, prefix string) {
+	r.Counter(prefix+".hits", func() uint64 { return c.Stats.Hits })
+	r.Counter(prefix+".misses", func() uint64 { return c.Stats.Misses })
+	r.Counter(prefix+".writebacks", func() uint64 { return c.Stats.Writebacks })
+	r.Counter(prefix+".invalidates", func() uint64 { return c.Stats.Invalidates })
+}
 
 // MissRate returns misses/accesses, or 0 for an untouched cache.
 func (s Stats) MissRate() float64 {

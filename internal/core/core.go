@@ -33,6 +33,7 @@ import (
 	"activepages/internal/logic"
 	"activepages/internal/mem"
 	"activepages/internal/memsys"
+	"activepages/internal/obs"
 	"activepages/internal/proc"
 	"activepages/internal/sim"
 )
@@ -197,6 +198,17 @@ func NewSystem(cfg Config, cpu *proc.CPU) (*System, error) {
 
 // Config returns the system configuration.
 func (s *System) Config() Config { return s.cfg }
+
+// Observe registers the Active-Page system's counters under prefix
+// (conventionally "ap").
+func (s *System) Observe(r *obs.Registry, prefix string) {
+	r.Counter(prefix+".activations", func() uint64 { return s.Stats.Activations })
+	r.Counter(prefix+".inter_page_transfers", func() uint64 { return s.Stats.InterPageTransfers })
+	r.Counter(prefix+".inter_page_bytes", func() uint64 { return s.Stats.InterPageBytes })
+	r.Counter(prefix+".binds", func() uint64 { return s.Stats.Binds })
+	r.Timer(prefix+".logic_busy", func() sim.Duration { return s.Stats.LogicBusy })
+	r.Timer(prefix+".reconfig", func() sim.Duration { return s.Stats.ReconfigTime })
+}
 
 // CPU returns the attached processor.
 func (s *System) CPU() *proc.CPU { return s.cpu }

@@ -8,6 +8,7 @@ package dram
 import (
 	"fmt"
 
+	"activepages/internal/obs"
 	"activepages/internal/sim"
 )
 
@@ -89,6 +90,14 @@ func New(cfg Config) *Device {
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
+
+// Observe registers the device's counters under prefix (e.g. "mem.dram").
+func (d *Device) Observe(r *obs.Registry, prefix string) {
+	r.Counter(prefix+".accesses", func() uint64 { return d.Stats.Accesses })
+	r.Counter(prefix+".row_hits", func() uint64 { return d.Stats.RowHits })
+	r.Counter(prefix+".row_misses", func() uint64 { return d.Stats.RowMisses })
+	r.Counter(prefix+".refreshes", func() uint64 { return d.Stats.Refreshes })
+}
 
 // Subarray returns the subarray index containing addr.
 func (d *Device) Subarray(addr uint64) uint64 { return addr / d.cfg.SubarrayBytes }

@@ -8,27 +8,29 @@ import (
 	"activepages/internal/apps/lcs"
 	"activepages/internal/pager"
 	"activepages/internal/radram"
+	"activepages/internal/run"
 	"activepages/internal/tabler"
 )
 
 // AblationActivation varies the per-activation dispatch cost, showing how
 // partitioning overhead shifts the sub-page/scalable boundary (Section 2:
 // "partitions can be tuned to shift this scalable region").
-func AblationActivation(cfg radram.Config, pages float64) (*tabler.Figure, error) {
+func AblationActivation(r *run.Runner, cfg radram.Config, pages float64) (*tabler.Figure, error) {
 	dispatch := []uint64{10, 60, 200, 1000, 5000}
 	f := tabler.NewFigure("Ablation: speedup vs activation dispatch cost (database)",
 		"dispatch instructions", "speedup")
 	f.X = make([]float64, len(dispatch))
-	y := make([]float64, len(dispatch))
 	for i, d := range dispatch {
 		f.X[i] = float64(d)
+	}
+	y, err := run.Map(r, len(dispatch), func(i int) (float64, error) {
 		c := cfg
-		c.AP.DispatchInstructions = d
-		m, err := apps.Measure(database.Benchmark{}, c, pages)
-		if err != nil {
-			return nil, err
-		}
-		y[i] = m.Speedup()
+		c.AP.DispatchInstructions = dispatch[i]
+		m, err := measure(r, database.Benchmark{}, c, pages)
+		return m.Speedup(), err
+	})
+	if err != nil {
+		return nil, err
 	}
 	f.Add("database", y)
 	return f, nil
@@ -37,21 +39,22 @@ func AblationActivation(cfg radram.Config, pages float64) (*tabler.Figure, error
 // AblationInterPage varies the inter-page interrupt cost on the wavefront
 // application, from idealized hardware support (0, the Section 10 future-
 // work alternative) to expensive processor mediation.
-func AblationInterPage(cfg radram.Config, pages float64) (*tabler.Figure, error) {
+func AblationInterPage(r *run.Runner, cfg radram.Config, pages float64) (*tabler.Figure, error) {
 	interrupt := []uint64{0, 50, 200, 1000, 5000}
 	f := tabler.NewFigure("Ablation: speedup vs inter-page interrupt cost (dynamic-prog)",
 		"interrupt instructions", "speedup")
 	f.X = make([]float64, len(interrupt))
-	y := make([]float64, len(interrupt))
 	for i, d := range interrupt {
 		f.X[i] = float64(d)
+	}
+	y, err := run.Map(r, len(interrupt), func(i int) (float64, error) {
 		c := cfg
-		c.AP.InterruptInstructions = d
-		m, err := apps.Measure(lcs.Benchmark{}, c, pages)
-		if err != nil {
-			return nil, err
-		}
-		y[i] = m.Speedup()
+		c.AP.InterruptInstructions = interrupt[i]
+		m, err := measure(r, lcs.Benchmark{}, c, pages)
+		return m.Speedup(), err
+	})
+	if err != nil {
+		return nil, err
 	}
 	f.Add("dynamic-prog", y)
 	return f, nil
@@ -60,21 +63,29 @@ func AblationInterPage(cfg radram.Config, pages float64) (*tabler.Figure, error)
 // AblationBind compares amortized binding (the reference) against charging
 // full reconfiguration time at every AP_bind — the paper's 2-4x
 // page-replacement cost discussion (Section 6).
-func AblationBind(cfg radram.Config, pages float64) (*tabler.Table, error) {
+func AblationBind(r *run.Runner, cfg radram.Config, pages float64) (*tabler.Table, error) {
 	t := tabler.New("Ablation: reconfiguration charging at AP_bind",
 		"Benchmark", "amortized speedup", "charged speedup")
-	for _, b := range Benchmarks() {
-		m1, err := apps.Measure(b, cfg, pages)
+	bs := Benchmarks()
+	type pair struct{ amortized, charged float64 }
+	rows, err := run.Map(r, len(bs), func(i int) (pair, error) {
+		m1, err := measure(r, bs[i], cfg, pages)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
 		c := cfg
 		c.AP.ChargeBind = true
-		m2, err := apps.Measure(b, c, pages)
+		m2, err := measure(r, bs[i], c, pages)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
-		t.Row(b.Name(), m1.Speedup(), m2.Speedup())
+		return pair{m1.Speedup(), m2.Speedup()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range bs {
+		t.Row(b.Name(), rows[i].amortized, rows[i].charged)
 	}
 	return t, nil
 }
@@ -83,21 +94,22 @@ func AblationBind(cfg radram.Config, pages float64) (*tabler.Table, error) {
 // granularity: smaller pages mean more parallel logic blocks but more
 // activations — the parallelism/overhead tradeoff behind RADram's 512 KB
 // subarray choice (Section 3).
-func AblationPageSize(dataBytes uint64) (*tabler.Figure, error) {
+func AblationPageSize(r *run.Runner, dataBytes uint64) (*tabler.Figure, error) {
 	sizes := []uint64{16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024}
 	f := tabler.NewFigure("Ablation: speedup vs superpage size at fixed data size (database)",
 		"page KB", "speedup")
 	f.X = make([]float64, len(sizes))
-	y := make([]float64, len(sizes))
 	for i, size := range sizes {
 		f.X[i] = float64(size) / 1024
-		cfg := radram.DefaultConfig().WithPageBytes(size)
-		pages := float64(dataBytes) / float64(size)
-		m, err := apps.Measure(database.Benchmark{}, cfg, pages)
-		if err != nil {
-			return nil, err
-		}
-		y[i] = m.Speedup()
+	}
+	y, err := run.Map(r, len(sizes), func(i int) (float64, error) {
+		cfg := radram.DefaultConfig().WithPageBytes(sizes[i])
+		pages := float64(dataBytes) / float64(sizes[i])
+		m, err := measure(r, database.Benchmark{}, cfg, pages)
+		return m.Speedup(), err
+	})
+	if err != nil {
+		return nil, err
 	}
 	f.Add("database", y)
 	return f, nil
@@ -107,8 +119,8 @@ func AblationPageSize(dataBytes uint64) (*tabler.Figure, error) {
 // wide RADram MMX at one problem size by reporting both executions' times
 // (Section 5.2's width discussion is the whole mpeg benchmark; this
 // surfaces the raw times).
-func AblationMMXWidth(cfg radram.Config, pages float64) (*tabler.Table, error) {
-	m, err := apps.Measure(BenchmarksMPEG(), cfg, pages)
+func AblationMMXWidth(r *run.Runner, cfg radram.Config, pages float64) (*tabler.Table, error) {
+	m, err := measure(r, BenchmarksMPEG(), cfg, pages)
 	if err != nil {
 		return nil, err
 	}
@@ -134,17 +146,21 @@ func BenchmarksMPEG() apps.Benchmark {
 // Pages (which reload their function bitstreams on swap-in) — Section 10's
 // OS-integration concern made quantitative. The trace visits the working
 // set cyclically, the worst case for LRU.
-func PagingStudy(residentPages int, bitstreamBytes int) *tabler.Figure {
+func PagingStudy(r *run.Runner, residentPages int, bitstreamBytes int) *tabler.Figure {
 	f := tabler.NewFigure(
 		"Paging: fault overhead vs working set (resident="+fmt.Sprint(residentPages)+" pages)",
 		"working-set pages", "fault time (ms)")
 	sets := []int{residentPages / 2, residentPages, residentPages + 1,
 		residentPages * 2, residentPages * 4}
 	f.X = make([]float64, len(sets))
-	conv := make([]float64, len(sets))
-	act := make([]float64, len(sets))
 	for i, ws := range sets {
 		f.X[i] = float64(ws)
+	}
+	type point struct{ conv, act float64 }
+	// Each point builds its own pagers, so the sweep parallelizes like any
+	// other; RunTrace cannot fail, so the error is always nil.
+	points, _ := run.Map(r, len(sets), func(i int) (point, error) {
+		ws := sets[i]
 		trace := make([]uint64, 0, ws*20)
 		for rep := 0; rep < 20; rep++ {
 			for pg := 0; pg < ws; pg++ {
@@ -152,9 +168,16 @@ func PagingStudy(residentPages int, bitstreamBytes int) *tabler.Figure {
 			}
 		}
 		pc := pager.New(pager.DefaultConfig(residentPages))
-		conv[i] = pc.RunTrace(trace, false, 0).Milliseconds()
 		pa := pager.New(pager.DefaultConfig(residentPages))
-		act[i] = pa.RunTrace(trace, true, bitstreamBytes).Milliseconds()
+		return point{
+			conv: pc.RunTrace(trace, false, 0).Milliseconds(),
+			act:  pa.RunTrace(trace, true, bitstreamBytes).Milliseconds(),
+		}, nil
+	})
+	conv := make([]float64, len(sets))
+	act := make([]float64, len(sets))
+	for i, p := range points {
+		conv[i], act[i] = p.conv, p.act
 	}
 	f.Add("conventional", conv)
 	f.Add("active-pages", act)

@@ -9,9 +9,9 @@ import (
 	"activepages/internal/apps/layout"
 	"activepages/internal/asm"
 	"activepages/internal/cpu"
-	"activepages/internal/mem"
 	"activepages/internal/memsys"
 	"activepages/internal/radram"
+	"activepages/internal/run"
 	"activepages/internal/workload"
 )
 
@@ -68,10 +68,10 @@ query:
 	if err != nil {
 		t.Fatal(err)
 	}
-	store := mem.NewStore()
-	core := cpu.New(cpu.DefaultConfig(), memsys.New(memsys.DefaultConfig()), store)
+	isa := run.NewISA(cpu.DefaultConfig(), memsys.DefaultConfig())
+	core := isa.Core
 	core.Load(img)
-	store.Write(layout.DataBase, book)
+	isa.Store.Write(layout.DataBase, book)
 	if _, err := core.Run(100_000_000); err != nil {
 		t.Fatal(err)
 	}
@@ -83,8 +83,8 @@ query:
 	// record count.
 	cfg := radram.DefaultConfig().WithPageBytes(64 * 1024)
 	perPage := float64((64*1024 - layout.HeaderBytes) / workload.RecordBytes)
-	conv := radram.NewConventional(cfg)
-	if err := (database.Benchmark{}).Run(conv, nRecords/perPage); err != nil {
+	conv := run.NewConventional(cfg)
+	if err := (database.Benchmark{}).Run(conv.Machine, nRecords/perPage); err != nil {
 		t.Fatal(err)
 	}
 

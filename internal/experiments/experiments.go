@@ -9,6 +9,11 @@
 // page shrink together, preserving every speedup-versus-pages shape while
 // keeping host memory bounded. Pass the 512 KB reference page size for
 // full-scale points.
+//
+// Every sweep is a grid of independent simulation points executed through
+// the internal/run worker pool: each function takes a *run.Runner (nil
+// means serial, no metrics) and merges results back in axis order, so
+// output is byte-identical whatever the worker count.
 package experiments
 
 import (
@@ -22,6 +27,7 @@ import (
 	"activepages/internal/apps/median"
 	"activepages/internal/apps/mpeg"
 	"activepages/internal/radram"
+	"activepages/internal/run"
 )
 
 // ScaledPageBytes is the sweep default superpage size.
@@ -95,28 +101,56 @@ func (s *Sweep) NonOverlaps() []float64 {
 	return out
 }
 
-// RunSweep measures one benchmark across the page axis.
-func RunSweep(b apps.Benchmark, cfg radram.Config, pages []float64) (*Sweep, error) {
-	s := &Sweep{Benchmark: b.Name(), Pages: pages}
-	for _, p := range pages {
-		m, err := apps.Measure(b, cfg, p)
-		if err != nil {
-			return nil, err
-		}
-		s.Points = append(s.Points, m)
+// measure runs one point through apps, routing the pair's metrics
+// snapshot into the runner's collector when one is attached. It is the
+// single simulation entry point for every sweep in this package.
+func measure(r *run.Runner, b apps.Benchmark, cfg radram.Config, pages float64) (apps.Measurement, error) {
+	if r == nil || r.Metrics == nil {
+		return apps.Measure(b, cfg, pages)
 	}
-	return s, nil
+	m, snap, err := apps.MeasureObserved(b, cfg, pages)
+	if err != nil {
+		return m, err
+	}
+	r.Collect(snap)
+	return m, nil
+}
+
+// serially returns a single-worker runner sharing r's metrics sink, for
+// loops nested inside an already-parallel Map.
+func serially(r *run.Runner) *run.Runner {
+	if r == nil {
+		return nil
+	}
+	return &run.Runner{Jobs: 1, Metrics: r.Metrics}
+}
+
+// RunSweep measures one benchmark across the page axis.
+func RunSweep(r *run.Runner, b apps.Benchmark, cfg radram.Config, pages []float64) (*Sweep, error) {
+	points, err := run.Map(r, len(pages), func(i int) (apps.Measurement, error) {
+		return measure(r, b, cfg, pages[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Sweep{Benchmark: b.Name(), Pages: pages, Points: points}, nil
 }
 
 // RunAllSweeps measures every benchmark (the full Figure 3/4 dataset).
-func RunAllSweeps(cfg radram.Config, pages []float64) ([]*Sweep, error) {
-	var out []*Sweep
-	for _, b := range Benchmarks() {
-		s, err := RunSweep(b, cfg, pages)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, s)
+// The whole benchmarks-by-pages grid is one flat slice of independent
+// points, so the worker pool load-balances across it.
+func RunAllSweeps(r *run.Runner, cfg radram.Config, pages []float64) ([]*Sweep, error) {
+	bs := Benchmarks()
+	grid, err := run.Map(r, len(bs)*len(pages), func(i int) (apps.Measurement, error) {
+		return measure(r, bs[i/len(pages)], cfg, pages[i%len(pages)])
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Sweep, len(bs))
+	for bi, b := range bs {
+		out[bi] = &Sweep{Benchmark: b.Name(), Pages: pages,
+			Points: grid[bi*len(pages) : (bi+1)*len(pages)]}
 	}
 	return out, nil
 }

@@ -8,6 +8,7 @@ import (
 	"activepages/internal/circuits"
 	"activepages/internal/logic"
 	"activepages/internal/radram"
+	"activepages/internal/run"
 )
 
 func TestBenchmarksRegistry(t *testing.T) {
@@ -45,7 +46,7 @@ func TestBenchmarkByName(t *testing.T) {
 
 func TestRunSweepShapes(t *testing.T) {
 	b, _ := BenchmarkByName("database")
-	s, err := RunSweep(b, DefaultConfig(), []float64{0.5, 2, 8})
+	s, err := RunSweep(nil, b, DefaultConfig(), []float64{0.5, 2, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestRunSweepShapes(t *testing.T) {
 
 func TestRegionsClassification(t *testing.T) {
 	b, _ := BenchmarkByName("matrix-boeing")
-	s, err := RunSweep(b, DefaultConfig(), []float64{0.5, 4, 64})
+	s, err := RunSweep(nil, b, DefaultConfig(), []float64{0.5, 4, 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestRegionsClassification(t *testing.T) {
 
 func TestFigure3And4Render(t *testing.T) {
 	b, _ := BenchmarkByName("database")
-	s, err := RunSweep(b, DefaultConfig(), []float64{1, 4})
+	s, err := RunSweep(nil, b, DefaultConfig(), []float64{1, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestTable4ModelCorrelation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("table 4 sweep is slow")
 	}
-	rows, err := Table4(DefaultConfig(), 8, []float64{1, 4, 16, 64})
+	rows, err := Table4(run.Parallel(), DefaultConfig(), 8, []float64{1, 4, 16, 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestTable4ModelCorrelation(t *testing.T) {
 }
 
 func TestCacheSweepRuns(t *testing.T) {
-	conv, rad, err := CacheSweep([]string{"database"}, DefaultConfig(), "L1D",
+	conv, rad, err := CacheSweep(run.Parallel(), []string{"database"}, DefaultConfig(), "L1D",
 		[]uint64{32 * 1024, 64 * 1024}, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -154,7 +155,7 @@ func TestCacheSweepRuns(t *testing.T) {
 		t.Fatal("series missing")
 	}
 	// L2 variant.
-	_, _, err = CacheSweep([]string{"database"}, DefaultConfig(), "L2",
+	_, _, err = CacheSweep(nil, []string{"database"}, DefaultConfig(), "L2",
 		[]uint64{512 * 1024, 1024 * 1024}, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -165,7 +166,7 @@ func TestMissLatencySweepRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep is slow")
 	}
-	f, err := MissLatencySweep(DefaultConfig(), DefaultMissLatencies()[:3], 2)
+	f, err := MissLatencySweep(run.Parallel(), DefaultConfig(), DefaultMissLatencies()[:3], 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestLogicSpeedSweepSlopes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep is slow")
 	}
-	f, err := LogicSpeedSweep(DefaultConfig(), []uint64{2, 100}, 8)
+	f, err := LogicSpeedSweep(nil, DefaultConfig(), []uint64{2, 100}, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,19 +204,19 @@ func TestAblationsRun(t *testing.T) {
 		t.Skip("ablations are slow")
 	}
 	cfg := DefaultConfig()
-	if _, err := AblationActivation(cfg, 4); err != nil {
+	if _, err := AblationActivation(nil, cfg, 4); err != nil {
 		t.Error(err)
 	}
-	if _, err := AblationInterPage(cfg, 4); err != nil {
+	if _, err := AblationInterPage(nil, cfg, 4); err != nil {
 		t.Error(err)
 	}
-	if _, err := AblationBind(cfg, 2); err != nil {
+	if _, err := AblationBind(run.Parallel(), cfg, 2); err != nil {
 		t.Error(err)
 	}
-	if _, err := AblationPageSize(1024 * 1024); err != nil {
+	if _, err := AblationPageSize(nil, 1024*1024); err != nil {
 		t.Error(err)
 	}
-	if _, err := AblationMMXWidth(cfg, 2); err != nil {
+	if _, err := AblationMMXWidth(nil, cfg, 2); err != nil {
 		t.Error(err)
 	}
 }
@@ -238,7 +239,7 @@ func TestSwapCostInPaperWindow(t *testing.T) {
 }
 
 func TestPagingStudyShape(t *testing.T) {
-	f := PagingStudy(8, 3500)
+	f := PagingStudy(nil, 8, 3500)
 	conv, act := f.Series[0].Y, f.Series[1].Y
 	// Working set within the resident set: only cold faults (cheap).
 	if conv[0] >= conv[3] {
@@ -258,7 +259,7 @@ func TestPagingStudyShape(t *testing.T) {
 }
 
 func TestSMPStudyScales(t *testing.T) {
-	f, err := SMPStudy(DefaultConfig(), 32, []int{1, 2, 4})
+	f, err := SMPStudy(nil, DefaultConfig(), 32, []int{1, 2, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +276,7 @@ func TestCrossoverStudyConsistent(t *testing.T) {
 		t.Skip("crossover sweep is slow")
 	}
 	sweep := []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
-	rows, err := CrossoverStudy(DefaultConfig(), 8, sweep)
+	rows, err := CrossoverStudy(run.Parallel(), DefaultConfig(), 8, sweep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,5 +303,39 @@ func TestCrossoverStudyConsistent(t *testing.T) {
 					r.Benchmark, r.PredictedPages)
 			}
 		}
+	}
+}
+
+// TestParallelSweepMatchesSerial: the rendered Figure 3/4 output of a
+// parallel sweep must be byte-identical to the serial run, and the merged
+// metrics snapshot must not depend on the worker count.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	pages := []float64{0.5, 2, 8}
+	serial := run.Serial().WithMetrics()
+	s1, err := RunAllSweeps(serial, DefaultConfig(), pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := (&run.Runner{Jobs: 8}).WithMetrics()
+	s2, err := RunAllSweeps(parallel, DefaultConfig(), pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := Figure3(s2).String(), Figure3(s1).String(); got != want {
+		t.Errorf("parallel Figure 3 differs from serial:\n%s\nvs\n%s", got, want)
+	}
+	if got, want := Figure4(s2).String(), Figure4(s1).String(); got != want {
+		t.Errorf("parallel Figure 4 differs from serial")
+	}
+	j1, err := serial.Metrics.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := parallel.Metrics.Snapshot().JSON()
+	if string(j1) != string(j2) {
+		t.Errorf("merged metrics depend on worker count:\n%s\nvs\n%s", j2, j1)
+	}
+	if serial.Metrics.Runs() != int64(7*len(pages)) {
+		t.Errorf("collected %d runs, want %d", serial.Metrics.Runs(), 7*len(pages))
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"activepages/internal/apps"
 	"activepages/internal/radram"
+	"activepages/internal/run"
 	"activepages/internal/sim"
 	"activepages/internal/tabler"
 )
@@ -49,7 +50,7 @@ func DefaultL2Sizes() []uint64 {
 
 // CacheSweep measures execution time versus a cache size for both machine
 // types at a fixed problem size. level is "L1D" or "L2".
-func CacheSweep(benchNames []string, cfg radram.Config, level string,
+func CacheSweep(r *run.Runner, benchNames []string, cfg radram.Config, level string,
 	sizes []uint64, pages float64) (conv, rad *tabler.Figure, err error) {
 
 	x := make([]float64, len(sizes))
@@ -64,24 +65,29 @@ func CacheSweep(benchNames []string, cfg radram.Config, level string,
 		level+" KB", "time (ms)")
 	conv.X, rad.X = x, x
 
-	for _, name := range benchNames {
-		b, err := BenchmarkByName(name)
-		if err != nil {
+	benches := make([]apps.Benchmark, len(benchNames))
+	for i, name := range benchNames {
+		if benches[i], err = BenchmarkByName(name); err != nil {
 			return nil, nil, err
 		}
+	}
+	grid, err := run.Map(r, len(benches)*len(sizes), func(i int) (apps.Measurement, error) {
+		c := cfg
+		if size := sizes[i%len(sizes)]; level == "L2" {
+			c = c.WithL2(size)
+		} else {
+			c = c.WithL1D(size)
+		}
+		return measure(r, benches[i/len(sizes)], c, pages)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for bi, name := range benchNames {
 		convY := make([]float64, len(sizes))
 		radY := make([]float64, len(sizes))
-		for i, size := range sizes {
-			c := cfg
-			if level == "L2" {
-				c = c.WithL2(size)
-			} else {
-				c = c.WithL1D(size)
-			}
-			m, err := apps.Measure(b, c, pages)
-			if err != nil {
-				return nil, nil, err
-			}
+		for i := range sizes {
+			m := grid[bi*len(sizes)+i]
 			convY[i] = m.ConvTime.Milliseconds()
 			radY[i] = m.RadTime.Milliseconds()
 		}
@@ -100,25 +106,43 @@ func DefaultMissLatencies() []sim.Duration {
 	return out
 }
 
+// speedupGrid runs every benchmark across an axis of derived
+// configurations and adds one speedup series per benchmark to f, in
+// legend order whatever the worker count.
+func speedupGrid(r *run.Runner, f *tabler.Figure, cfg radram.Config, n int,
+	derive func(radram.Config, int) radram.Config, pages float64) error {
+
+	bs := Benchmarks()
+	grid, err := run.Map(r, len(bs)*n, func(i int) (apps.Measurement, error) {
+		return measure(r, bs[i/n], derive(cfg, i%n), pages)
+	})
+	if err != nil {
+		return err
+	}
+	for bi, b := range bs {
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = grid[bi*n+i].Speedup()
+		}
+		f.Add(b.Name(), y)
+	}
+	return nil
+}
+
 // MissLatencySweep measures speedup versus cache-miss latency at a fixed
 // problem size (Figure 8).
-func MissLatencySweep(cfg radram.Config, latencies []sim.Duration, pages float64) (*tabler.Figure, error) {
+func MissLatencySweep(r *run.Runner, cfg radram.Config, latencies []sim.Duration, pages float64) (*tabler.Figure, error) {
 	f := tabler.NewFigure("Figure 8: RADram speedup as cache-to-memory latency varies",
 		"miss ns", "speedup")
 	f.X = make([]float64, len(latencies))
 	for i, d := range latencies {
 		f.X[i] = d.Nanoseconds()
 	}
-	for _, b := range Benchmarks() {
-		y := make([]float64, len(latencies))
-		for i, d := range latencies {
-			m, err := apps.Measure(b, cfg.WithMissLatency(d), pages)
-			if err != nil {
-				return nil, err
-			}
-			y[i] = m.Speedup()
-		}
-		f.Add(b.Name(), y)
+	err := speedupGrid(r, f, cfg, len(latencies), func(c radram.Config, i int) radram.Config {
+		return c.WithMissLatency(latencies[i])
+	}, pages)
+	if err != nil {
+		return nil, err
 	}
 	return f, nil
 }
@@ -131,23 +155,18 @@ func DefaultLogicDivisors() []uint64 {
 
 // LogicSpeedSweep measures speedup versus the logic-clock divisor at a
 // fixed problem size (Figure 9; higher divisor = slower logic).
-func LogicSpeedSweep(cfg radram.Config, divisors []uint64, pages float64) (*tabler.Figure, error) {
+func LogicSpeedSweep(r *run.Runner, cfg radram.Config, divisors []uint64, pages float64) (*tabler.Figure, error) {
 	f := tabler.NewFigure("Figure 9: RADram speedup as logic speed varies",
 		"logic divisor", "speedup")
 	f.X = make([]float64, len(divisors))
 	for i, d := range divisors {
 		f.X[i] = float64(d)
 	}
-	for _, b := range Benchmarks() {
-		y := make([]float64, len(divisors))
-		for i, d := range divisors {
-			m, err := apps.Measure(b, cfg.WithLogicDivisor(d), pages)
-			if err != nil {
-				return nil, err
-			}
-			y[i] = m.Speedup()
-		}
-		f.Add(b.Name(), y)
+	err := speedupGrid(r, f, cfg, len(divisors), func(c radram.Config, i int) radram.Config {
+		return c.WithLogicDivisor(divisors[i])
+	}, pages)
+	if err != nil {
+		return nil, err
 	}
 	return f, nil
 }

@@ -6,10 +6,8 @@ import (
 	"activepages/internal/apps/database"
 	"activepages/internal/apps/layout"
 	"activepages/internal/core"
-	"activepages/internal/mem"
-	"activepages/internal/memsys"
-	"activepages/internal/proc"
 	"activepages/internal/radram"
+	"activepages/internal/run"
 	"activepages/internal/sim"
 	"activepages/internal/tabler"
 	"activepages/internal/workload"
@@ -27,97 +25,85 @@ import (
 // store; kernel time is the slowest processor. Bus contention between
 // processors is not modeled (each has the paper's full bus to memory),
 // making this the optimistic bound hardware SMP support would approach.
-func SMPStudy(cfg radram.Config, pages float64, processors []int) (*tabler.Figure, error) {
+func SMPStudy(r *run.Runner, cfg radram.Config, pages float64, processors []int) (*tabler.Figure, error) {
 	f := tabler.NewFigure(
 		fmt.Sprintf("SMP: database query time vs processors (%g pages)", pages),
 		"processors", "time (ms)")
 	f.X = make([]float64, len(processors))
-	y := make([]float64, len(processors))
 	for i, p := range processors {
 		f.X[i] = float64(p)
-		t, err := runSMPDatabase(cfg, pages, p)
-		if err != nil {
-			return nil, err
-		}
-		y[i] = t.Milliseconds()
+	}
+	y, err := run.Map(r, len(processors), func(i int) (float64, error) {
+		t, err := runSMPDatabase(r, cfg, pages, processors[i])
+		return t.Milliseconds(), err
+	})
+	if err != nil {
+		return nil, err
 	}
 	f.Add("database", y)
 	return f, nil
 }
 
-// runSMPDatabase splits the database pages across n processors and
-// returns the slowest processor's elapsed time.
-func runSMPDatabase(cfg radram.Config, pages float64, nProc int) (sim.Time, error) {
+// runSMPDatabase splits the database pages across an n-processor cluster
+// and returns the slowest processor's elapsed time.
+func runSMPDatabase(r *run.Runner, cfg radram.Config, pages float64, nProc int) (sim.Time, error) {
 	if nProc < 1 {
 		return 0, fmt.Errorf("experiments: need at least one processor")
 	}
-	store := mem.NewStore()
-	hier := memsys.New(cfg.Mem)
+	cl, err := run.NewCluster(cfg, nProc)
+	if err != nil {
+		return 0, err
+	}
 
 	// Shared data: one address book blocked into pages, as the database
 	// study lays it out.
 	perPage := int((cfg.AP.PageBytes - layout.HeaderBytes) / workload.RecordBytes)
-	nRecords := int(pages * float64(perPage))
-	if nRecords < nProc {
-		nRecords = nProc
-	}
+	nRecords := max(int(pages*float64(perPage)), nProc)
 	book := workload.AddressBook(1998, nRecords)
 	want := workload.CountLastName(book, workload.QueryName())
 	nPages := (nRecords + perPage - 1) / perPage
 
 	// Each processor owns a contiguous slice of pages via its own
 	// Active-Page system view over the shared store.
-	type worker struct {
-		cpu   *proc.CPU
-		sys   *core.System
-		pages []*core.Page
-		first int
-	}
-	workers := make([]*worker, nProc)
-	for w := range workers {
-		cpu := proc.New(cfg.CPU, hier, store)
-		sys, err := core.NewSystem(cfg.AP, cpu)
-		if err != nil {
-			return 0, err
-		}
-		workers[w] = &worker{cpu: cpu, sys: sys}
-	}
+	owned := make([][]*core.Page, nProc)
+	first := make([]int, nProc)
 	for pg := 0; pg < nPages; pg++ {
-		w := workers[pg*nProc/nPages]
+		w := pg * nProc / nPages
 		vaddr := uint64(layout.DataBase) + uint64(pg)*cfg.AP.PageBytes
-		p, err := w.sys.Alloc("database", vaddr)
+		p, err := cl.APs[w].Alloc("database", vaddr)
 		if err != nil {
 			return 0, err
 		}
-		if len(w.pages) == 0 {
-			w.first = pg
+		if len(owned[w]) == 0 {
+			first[w] = pg
 		}
-		w.pages = append(w.pages, p)
-		first := pg * perPage
-		last := min(nRecords, first+perPage)
-		store.Write(vaddr+layout.HeaderBytes,
-			book[first*workload.RecordBytes:last*workload.RecordBytes])
+		owned[w] = append(owned[w], p)
+		lo := pg * perPage
+		hi := min(nRecords, lo+perPage)
+		cl.Store.Write(vaddr+layout.HeaderBytes,
+			book[lo*workload.RecordBytes:hi*workload.RecordBytes])
 	}
 
 	// Each processor dispatches and summarizes its slice.
 	total := 0
 	var slowest sim.Time
-	for _, w := range workers {
-		if len(w.pages) == 0 {
+	for w := 0; w < nProc; w++ {
+		if len(owned[w]) == 0 {
 			continue
 		}
-		count, err := database.QueryPages(w.sys, w.pages, perPage,
-			nRecords-w.first*perPage, workload.QueryName())
+		count, err := database.QueryPages(cl.APs[w], owned[w], perPage,
+			nRecords-first[w]*perPage, workload.QueryName())
 		if err != nil {
 			return 0, err
 		}
 		total += count
-		if w.cpu.Now() > slowest {
-			slowest = w.cpu.Now()
+		if now := cl.CPUs[w].Now(); now > slowest {
+			slowest = now
 		}
 	}
 	if total != want {
 		return 0, fmt.Errorf("experiments: SMP count %d, want %d", total, want)
 	}
+	r.Collect(cl.Metrics.Snapshot().WithPrefix("smp."))
 	return slowest, nil
 }

@@ -3,12 +3,12 @@ package experiments
 import (
 	"fmt"
 
-	"activepages/internal/apps"
 	"activepages/internal/bus"
 	"activepages/internal/circuits"
 	"activepages/internal/logic"
 	"activepages/internal/model"
 	"activepages/internal/radram"
+	"activepages/internal/run"
 	"activepages/internal/sim"
 	"activepages/internal/tabler"
 )
@@ -68,42 +68,40 @@ type Table4Row struct {
 // Table4 fits the Section 7.4 model to each application at a medium
 // problem size, computes pages-for-complete-overlap from the recurrence,
 // and correlates model-predicted speedups against the measured sweep —
-// the full content of the paper's Table 4.
-func Table4(cfg radram.Config, fitPages float64, sweepPages []float64) ([]Table4Row, error) {
-	var rows []Table4Row
-	for _, b := range Benchmarks() {
-		fit, err := apps.Measure(b, cfg, fitPages)
+// the full content of the paper's Table 4. Each application's fit-and-
+// sweep is one independent unit on the worker pool.
+func Table4(r *run.Runner, cfg radram.Config, fitPages float64, sweepPages []float64) ([]Table4Row, error) {
+	bs := Benchmarks()
+	return run.Map(r, len(bs), func(i int) (Table4Row, error) {
+		b := bs[i]
+		fit, err := measure(r, b, cfg, fitPages)
 		if err != nil {
-			return nil, err
+			return Table4Row{}, err
 		}
 		convPerPage := sim.Duration(float64(fit.ConvTime) / fit.Pages)
 		p := model.FitParams(fit.ActivationTime, fit.PostTime, fit.BusyTime, convPerPage)
 
-		sweep, err := RunSweep(b, cfg, sweepPages)
+		sweep, err := RunSweep(serially(r), b, cfg, sweepPages)
 		if err != nil {
-			return nil, err
+			return Table4Row{}, err
 		}
 		pages := make([]int, len(sweepPages))
 		for i, v := range sweepPages {
-			pages[i] = int(v)
-			if pages[i] < 1 {
-				pages[i] = 1
-			}
+			pages[i] = max(int(v), 1)
 		}
-		r, err := model.Correlate(p, pages, sweep.Speedups())
+		correl, err := model.Correlate(p, pages, sweep.Speedups())
 		if err != nil {
-			return nil, err
+			return Table4Row{}, err
 		}
-		rows = append(rows, Table4Row{
+		return Table4Row{
 			Benchmark: b.Name(),
 			TA:        p.TA,
 			TP:        p.TP,
 			TC:        p.TC,
 			PagesFor:  p.PagesForOverlap(),
-			Correl:    r,
-		})
-	}
-	return rows, nil
+			Correl:    correl,
+		}, nil
+	})
 }
 
 // RenderTable4 formats Table 4 rows.
@@ -160,19 +158,20 @@ type CrossoverRow struct {
 // CrossoverStudy computes the saturation boundary both ways. Applications
 // that do not saturate within the sweep report MeasuredPages 0; their
 // prediction should then also lie beyond the sweep's end.
-func CrossoverStudy(cfg radram.Config, fitPages float64, sweepPages []float64) ([]CrossoverRow, error) {
-	var rows []CrossoverRow
-	for _, b := range Benchmarks() {
-		fit, err := apps.Measure(b, cfg, fitPages)
+func CrossoverStudy(r *run.Runner, cfg radram.Config, fitPages float64, sweepPages []float64) ([]CrossoverRow, error) {
+	bs := Benchmarks()
+	return run.Map(r, len(bs), func(i int) (CrossoverRow, error) {
+		b := bs[i]
+		fit, err := measure(r, b, cfg, fitPages)
 		if err != nil {
-			return nil, err
+			return CrossoverRow{}, err
 		}
 		convPerPage := sim.Duration(float64(fit.ConvTime) / fit.Pages)
 		p := model.FitParams(fit.ActivationTime, fit.PostTime, fit.BusyTime, convPerPage)
 
-		sweep, err := RunSweep(b, cfg, sweepPages)
+		sweep, err := RunSweep(serially(r), b, cfg, sweepPages)
 		if err != nil {
-			return nil, err
+			return CrossoverRow{}, err
 		}
 		row := CrossoverRow{Benchmark: b.Name(), PredictedPages: p.PagesForOverlap()}
 		for i, m := range sweep.Points {
@@ -181,9 +180,8 @@ func CrossoverStudy(cfg radram.Config, fitPages float64, sweepPages []float64) (
 				break
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // RenderCrossover formats the crossover study.

@@ -12,6 +12,7 @@ import (
 	"activepages/internal/bus"
 	"activepages/internal/cache"
 	"activepages/internal/dram"
+	"activepages/internal/obs"
 	"activepages/internal/sim"
 )
 
@@ -87,6 +88,17 @@ func New(cfg Config) *Hierarchy {
 
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Observe registers the whole hierarchy's counters — its own plus every
+// level's — under prefix (conventionally "mem").
+func (h *Hierarchy) Observe(r *obs.Registry, prefix string) {
+	r.Counter(prefix+".uncached_accesses", func() uint64 { return h.UncachedAccesses })
+	h.L1I.Observe(r, prefix+".l1i")
+	h.L1D.Observe(r, prefix+".l1d")
+	h.L2.Observe(r, prefix+".l2")
+	h.Bus.Observe(r, prefix+".bus")
+	h.DRAM.Observe(r, prefix+".dram")
+}
 
 // memoryTime is the cost of one line (or word) access that reaches DRAM.
 func (h *Hierarchy) memoryTime(addr, bytes uint64) sim.Duration {

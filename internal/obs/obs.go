@@ -1,0 +1,120 @@
+// Package obs is the simulator's unified observability layer: a registry
+// of named counters and timers that every component of a machine — caches,
+// bus, DRAM, memory hierarchy, processor, Active-Page system — registers
+// into when the machine is wired up.
+//
+// The registry is pull-based: components register closures over the
+// counters they already maintain, so registration costs a few appends at
+// construction time and the simulation hot path pays nothing. A nil
+// *Registry is the no-op default — every method is nil-safe — so code that
+// does not care about metrics never constructs one.
+//
+// A Snapshot is a point-in-time reading of a registry: a flat map from
+// metric name to integral value (counters are raw counts, timers are
+// nanoseconds under a "_ns"-suffixed name). Snapshots from independent
+// runs merge by summation, which is what makes one machine-readable
+// metrics document per sweep possible even when the sweep ran across a
+// worker pool.
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+
+	"activepages/internal/sim"
+)
+
+// metric is one registered reading.
+type metric struct {
+	name string
+	read func() int64
+}
+
+// Registry collects metric registrations for one machine instance.
+// The zero value is ready to use; a nil *Registry is a valid no-op.
+type Registry struct {
+	metrics []metric
+}
+
+// New returns an empty registry.
+func New() *Registry { return &Registry{} }
+
+// Counter registers a monotonically increasing count under name. A nil
+// registry ignores the registration.
+func (r *Registry) Counter(name string, read func() uint64) {
+	if r == nil {
+		return
+	}
+	r.metrics = append(r.metrics, metric{name, func() int64 { return int64(read()) }})
+}
+
+// Timer registers an accumulated simulated duration. It is recorded in the
+// snapshot in nanoseconds under name + "_ns". A nil registry ignores the
+// registration.
+func (r *Registry) Timer(name string, read func() sim.Duration) {
+	if r == nil {
+		return
+	}
+	r.metrics = append(r.metrics, metric{name + "_ns",
+		func() int64 { return int64(read() / sim.Nanosecond) }})
+}
+
+// Len reports how many metrics are registered. A nil registry has none.
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.metrics)
+}
+
+// Snapshot reads every registered metric. Metrics registered under the
+// same name are summed. A nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	s := make(Snapshot, len(r.metrics))
+	for _, m := range r.metrics {
+		s[m.name] += m.read()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time reading: metric name to value (counts, or
+// nanoseconds for timers).
+type Snapshot map[string]int64
+
+// Merge adds every value of o into s and returns s. Merging run snapshots
+// by summation gives sweep-level totals.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	for k, v := range o {
+		s[k] += v
+	}
+	return s
+}
+
+// WithPrefix returns a copy of s with every name prefixed (e.g.
+// "conv." / "rad." to keep a machine pair's metrics apart).
+func (s Snapshot) WithPrefix(prefix string) Snapshot {
+	out := make(Snapshot, len(s))
+	for k, v := range s {
+		out[prefix+k] = v
+	}
+	return out
+}
+
+// Names returns the metric names in sorted order.
+func (s Snapshot) Names() []string {
+	names := make([]string, 0, len(s))
+	for k := range s {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// JSON renders the snapshot as an indented JSON object with
+// deterministically ordered (sorted) keys.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+
+	"activepages/internal/sim"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("x", func() uint64 { return 1 })
+	r.Timer("y", func() sim.Duration { return sim.Nanosecond })
+	if r.Len() != 0 {
+		t.Fatal("nil registry should have no metrics")
+	}
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("nil registry snapshot = %v, want empty", got)
+	}
+}
+
+func TestCountersAndTimers(t *testing.T) {
+	var hits uint64
+	var busy sim.Duration
+	r := New()
+	r.Counter("cache.hits", func() uint64 { return hits })
+	r.Timer("bus.busy", func() sim.Duration { return busy })
+
+	hits = 42
+	busy = 1500 * sim.Nanosecond
+	s := r.Snapshot()
+	if s["cache.hits"] != 42 {
+		t.Errorf("cache.hits = %d, want 42", s["cache.hits"])
+	}
+	if s["bus.busy_ns"] != 1500 {
+		t.Errorf("bus.busy_ns = %d, want 1500", s["bus.busy_ns"])
+	}
+
+	// Pull-based: a later snapshot sees later values.
+	hits = 100
+	if got := r.Snapshot()["cache.hits"]; got != 100 {
+		t.Errorf("second snapshot cache.hits = %d, want 100", got)
+	}
+}
+
+func TestDuplicateNamesSum(t *testing.T) {
+	r := New()
+	r.Counter("n", func() uint64 { return 3 })
+	r.Counter("n", func() uint64 { return 4 })
+	if got := r.Snapshot()["n"]; got != 7 {
+		t.Errorf("duplicate-name snapshot = %d, want 7", got)
+	}
+}
+
+func TestMergeAndPrefix(t *testing.T) {
+	a := Snapshot{"hits": 1, "misses": 2}
+	b := Snapshot{"hits": 10, "stalls": 5}
+	a.Merge(b)
+	if a["hits"] != 11 || a["misses"] != 2 || a["stalls"] != 5 {
+		t.Fatalf("merge wrong: %v", a)
+	}
+
+	p := b.WithPrefix("rad.")
+	if p["rad.hits"] != 10 || p["rad.stalls"] != 5 || len(p) != 2 {
+		t.Fatalf("prefix wrong: %v", p)
+	}
+	// The original is untouched.
+	if b["hits"] != 10 || len(b) != 2 {
+		t.Fatalf("WithPrefix mutated its receiver: %v", b)
+	}
+}
+
+func TestJSONDeterministic(t *testing.T) {
+	s := Snapshot{"b": 2, "a": 1, "c": 3}
+	j1, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := s.JSON()
+	if string(j1) != string(j2) {
+		t.Fatal("JSON output not deterministic")
+	}
+	var back map[string]int64
+	if err := json.Unmarshal(j1, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["a"] != 1 || back["b"] != 2 || back["c"] != 3 {
+		t.Fatalf("JSON round trip lost values: %v", back)
+	}
+	names := s.Names()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Fatalf("Names not sorted: %v", names)
+	}
+}

@@ -21,6 +21,7 @@ package proc
 import (
 	"activepages/internal/mem"
 	"activepages/internal/memsys"
+	"activepages/internal/obs"
 	"activepages/internal/sim"
 )
 
@@ -104,6 +105,19 @@ func (c *CPU) Store() *mem.Store { return c.store }
 
 // Now returns the processor's current time.
 func (c *CPU) Now() sim.Time { return c.now }
+
+// Observe registers the processor's time ledger and operation counts
+// under prefix (conventionally "proc").
+func (c *CPU) Observe(r *obs.Registry, prefix string) {
+	r.Timer(prefix+".compute", func() sim.Duration { return c.Stats.ComputeTime })
+	r.Timer(prefix+".mem_stall", func() sim.Duration { return c.Stats.MemStallTime })
+	r.Timer(prefix+".non_overlap", func() sim.Duration { return c.Stats.NonOverlapTime })
+	r.Timer(prefix+".mediation", func() sim.Duration { return c.Stats.MediationTime })
+	r.Counter(prefix+".instructions", func() uint64 { return c.Stats.Instructions })
+	r.Counter(prefix+".loads", func() uint64 { return c.Stats.Loads })
+	r.Counter(prefix+".stores", func() uint64 { return c.Stats.Stores })
+	r.Counter(prefix+".fp_ops", func() uint64 { return c.Stats.FPOps })
+}
 
 // Compute charges n instructions of busy time at one cycle each.
 func (c *CPU) Compute(n uint64) {

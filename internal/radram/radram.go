@@ -23,6 +23,7 @@ import (
 	"activepages/internal/core"
 	"activepages/internal/mem"
 	"activepages/internal/memsys"
+	"activepages/internal/obs"
 	"activepages/internal/proc"
 	"activepages/internal/sim"
 )
@@ -120,6 +121,17 @@ func MustNew(cfg Config) *Machine {
 		panic(err)
 	}
 	return m
+}
+
+// Observe registers every component's counters and timers — processor,
+// full memory hierarchy, and (when present) the Active-Page system — into
+// one registry, so a run can emit a single merged metrics snapshot.
+func (m *Machine) Observe(r *obs.Registry) {
+	m.CPU.Observe(r, "proc")
+	m.Hier.Observe(r, "mem")
+	if m.AP != nil {
+		m.AP.Observe(r, "ap")
+	}
 }
 
 // PageBytes returns the machine's superpage size.

@@ -1,0 +1,153 @@
+package run
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"activepages/internal/obs"
+)
+
+// Runner executes independent simulation points. The zero value and a nil
+// *Runner both run serially with no metrics collection, so library code
+// can thread a runner through unconditionally.
+type Runner struct {
+	// Jobs is the worker-pool width. Values <= 1 run serially.
+	Jobs int
+	// Metrics, when set, accumulates the merged metrics snapshot of every
+	// observed run.
+	Metrics *Collector
+}
+
+// Serial returns a single-worker runner.
+func Serial() *Runner { return &Runner{Jobs: 1} }
+
+// Parallel returns a runner with one worker per CPU.
+func Parallel() *Runner { return &Runner{Jobs: runtime.NumCPU()} }
+
+// WithMetrics attaches a fresh collector and returns the runner.
+func (r *Runner) WithMetrics() *Runner {
+	r.Metrics = NewCollector()
+	return r
+}
+
+// jobs reports the effective worker count, nil-safe.
+func (r *Runner) jobs() int {
+	if r == nil || r.Jobs <= 1 {
+		return 1
+	}
+	return r.Jobs
+}
+
+// Collect merges a run's metrics snapshot into the runner's collector, if
+// one is attached. It is safe from worker goroutines and on a nil runner.
+func (r *Runner) Collect(s obs.Snapshot) {
+	if r == nil || r.Metrics == nil {
+		return
+	}
+	r.Metrics.Add(s)
+}
+
+// PanicError is a crashed run converted into a structured error: the
+// sweep survives, reports which point died, and preserves the stack.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+// Error summarizes the crash.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("run %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// Map executes fn(0) … fn(n-1) across the runner's worker pool and
+// returns the results in index order. Every invocation is independent —
+// fn must build its own machine instances — so the merged output is
+// byte-identical whatever the worker count. A panic inside fn is
+// recovered into a *PanicError instead of killing the sweep. If any
+// point fails, Map returns the error of the lowest failing index
+// (deterministic regardless of scheduling) alongside the partial results.
+func Map[T any](r *Runner, n int, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+
+	call := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				errs[i] = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+			}
+		}()
+		results[i], errs[i] = fn(i)
+	}
+
+	if workers := min(r.jobs(), n); workers <= 1 {
+		for i := 0; i < n; i++ {
+			call(i)
+		}
+	} else {
+		indices := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range indices {
+					call(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			indices <- i
+		}
+		close(indices)
+		wg.Wait()
+	}
+
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("run %d/%d: %w", i, n, err)
+		}
+	}
+	return results, nil
+}
+
+// Collector is a concurrency-safe accumulator of metrics snapshots: one
+// merged snapshot plus a count of the runs that contributed.
+type Collector struct {
+	mu   sync.Mutex
+	snap obs.Snapshot
+	runs int64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{snap: obs.Snapshot{}}
+}
+
+// Add merges one run's snapshot.
+func (c *Collector) Add(s obs.Snapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.snap.Merge(s)
+	c.runs++
+}
+
+// Runs reports how many snapshots have been merged.
+func (c *Collector) Runs() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.runs
+}
+
+// Snapshot returns a copy of the merged snapshot with a "runs" metric
+// recording how many simulations contributed.
+func (c *Collector) Snapshot() obs.Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(obs.Snapshot, len(c.snap)+1)
+	out.Merge(c.snap)
+	out["runs"] = c.runs
+	return out
+}
