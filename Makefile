@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench paper clean
+.PHONY: all build test race vet bench microbench paper clean
 
 all: build test
 
@@ -19,6 +19,12 @@ vet:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Hot-path microbenchmarks: store/cache/DRAM/hierarchy/CPU fast paths.
+microbench:
+	$(GO) test -bench 'Access|Store|CPU|Slice' -run '^$$' \
+		./internal/mem/ ./internal/cache/ ./internal/dram/ \
+		./internal/memsys/ ./internal/proc/
 
 # Regenerate every table and figure of the paper's evaluation.
 paper:

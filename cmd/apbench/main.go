@@ -25,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 
 	"activepages/internal/experiments"
 	"activepages/internal/radram"
@@ -38,13 +39,44 @@ func main() {
 		quick      = flag.Bool("quick", false, "use a short problem-size axis")
 		pageBytes  = flag.Uint64("pagebytes", experiments.ScaledPageBytes,
 			"superpage size (512KiB = paper reference; smaller = scaled mode)")
-		regions = flag.Bool("regions", false, "with fig3: print region classification")
-		l2      = flag.Bool("l2", false, "with fig5: sweep the L2 instead of the L1D")
-		csvDir  = flag.String("csv", "", "also write each figure as CSV into this directory")
-		jobs    = flag.Int("jobs", runtime.NumCPU(), "simulation worker-pool width")
-		jsonOut = flag.Bool("json", false, "append a merged metrics snapshot as JSON")
+		regions    = flag.Bool("regions", false, "with fig3: print region classification")
+		l2         = flag.Bool("l2", false, "with fig5: sweep the L2 instead of the L1D")
+		csvDir     = flag.String("csv", "", "also write each figure as CSV into this directory")
+		jobs       = flag.Int("jobs", runtime.NumCPU(), "simulation worker-pool width")
+		jsonOut    = flag.Bool("json", false, "append a merged metrics snapshot as JSON")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "apbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "apbench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "apbench:", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	cfg := radram.DefaultConfig().WithPageBytes(*pageBytes)
 	points := experiments.DefaultPagePoints()

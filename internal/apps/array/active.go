@@ -22,6 +22,8 @@ type Active struct {
 	// only when the operation class changes (insert/delete/find each burn
 	// most of the 256-LE budget).
 	bound string
+	// buf is reusable scratch for the adaptive sub-page delete.
+	buf []byte
 }
 
 // NewActive builds the distributed array with initial contents i*3 (setup,
@@ -34,8 +36,16 @@ func NewActive(m *radram.Machine, n int) (*Active, error) {
 		return nil, err
 	}
 	a.pages = pages
-	for i := 0; i < n; i++ {
-		m.Store.WriteU32(a.addr(i), uint32(i)*3)
+	var vals [4096]uint32
+	for start := 0; start < n; {
+		// Stop chunks at page boundaries: element addresses are contiguous
+		// only within one page's usable region.
+		c := min(n-start, len(vals), a.E-start%a.E)
+		for i := 0; i < c; i++ {
+			vals[i] = uint32(start+i) * 3
+		}
+		m.Store.WriteU32Slice(a.addr(start), vals[:c])
+		start += c
 	}
 	return a, nil
 }
@@ -69,13 +79,13 @@ func (a *Active) rebind(name string) error {
 	case "arr-delete":
 		fn = deleteFn{}
 	case "arr-find":
-		fn = findFn{}
+		fn = &findFn{}
 	case "arr-accumulate":
-		fn = accumulateFn{}
+		fn = &accumulateFn{}
 	case "arr-scan":
-		fn = scanFn{}
+		fn = &scanFn{}
 	case "arr-adjdiff":
-		fn = adjDiffFn{}
+		fn = &adjDiffFn{}
 	default:
 		return fmt.Errorf("array: unknown function %s", name)
 	}
@@ -148,7 +158,10 @@ func (a *Active) Delete(pos int) error {
 	if a.n <= a.E {
 		// Adaptive sub-page path: processor memmove within page 0.
 		const chunkElems = 256
-		buf := make([]byte, chunkElems*4)
+		if a.buf == nil {
+			a.buf = make([]byte, chunkElems*4)
+		}
+		buf := a.buf
 		for done := pos; done < a.n-1; {
 			c := min(a.n-1-done, chunkElems)
 			cpu.ReadBlock(a.addr(done+1), buf[:c*4])
@@ -276,18 +289,24 @@ func (deleteFn) Run(ctx *core.PageContext) (core.Result, error) {
 	return ctx.Finish(used - start + 4)
 }
 
-// findFn counts elements equal to the key.
-type findFn struct{}
+// findFn counts elements equal to the key. The scratch slice persists
+// across activations (functions are bound per machine, single-threaded).
+type findFn struct{ vals []uint32 }
 
-func (findFn) Name() string          { return "arr-find" }
-func (findFn) Design() *logic.Design { return circuits.ArrayFind() }
+func (*findFn) Name() string          { return "arr-find" }
+func (*findFn) Design() *logic.Design { return circuits.ArrayFind() }
 
-func (findFn) Run(ctx *core.PageContext) (core.Result, error) {
+func (f *findFn) Run(ctx *core.PageContext) (core.Result, error) {
 	used, key := ctx.Args[0], uint32(ctx.Args[1])
 	base := uint64(layout.HeaderBytes)
+	if uint64(len(f.vals)) < used {
+		f.vals = make([]uint32, used)
+	}
+	vals := f.vals[:used]
+	ctx.ReadU32Slice(base, vals)
 	var count uint32
-	for i := uint64(0); i < used; i++ {
-		if ctx.ReadU32(base+i*4) == key {
+	for _, v := range vals {
+		if v == key {
 			count++
 		}
 	}

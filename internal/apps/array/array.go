@@ -163,14 +163,22 @@ type Conventional struct {
 	m    *radram.Machine
 	base uint64
 	n    int
+	// buf/elems are reusable scratch for memmove and Count.
+	buf   []byte
+	elems []uint32
 }
 
 // NewConventional builds the array with initial contents i*3 (setup, not
 // timed).
 func NewConventional(m *radram.Machine, n int) (*Conventional, error) {
 	a := &Conventional{m: m, base: layout.DataBase, n: n}
-	for i := 0; i < n; i++ {
-		m.Store.WriteU32(a.base+uint64(i)*4, uint32(i)*3)
+	var vals [4096]uint32
+	for start := 0; start < n; start += len(vals) {
+		c := min(n-start, len(vals))
+		for i := 0; i < c; i++ {
+			vals[i] = uint32(start+i) * 3
+		}
+		m.Store.WriteU32Slice(a.base+uint64(start)*4, vals[:c])
 	}
 	return a, nil
 }
@@ -191,7 +199,10 @@ func (a *Conventional) memmove(dst, src, count int) {
 	}
 	cpu := a.m.CPU
 	const chunkElems = 256
-	buf := make([]byte, chunkElems*4)
+	if a.buf == nil {
+		a.buf = make([]byte, chunkElems*4)
+	}
+	buf := a.buf
 	if dst > src {
 		// Move backward (from the top) so the tail is not clobbered.
 		for remaining := count; remaining > 0; {
@@ -229,15 +240,27 @@ func (a *Conventional) Delete(pos int) error {
 	return nil
 }
 
-// Count implements Array.
+// Count implements Array. The scan streams ascending, so the loads batch
+// into chunked bulk reads; the per-element compare/increment/loop charge
+// aggregates with them, exactly as the scalar loop would accumulate it.
 func (a *Conventional) Count(v uint32) (int, error) {
 	cpu := a.m.CPU
+	const chunkElems = 256
+	if a.elems == nil {
+		a.elems = make([]uint32, chunkElems)
+	}
 	count := 0
-	for i := 0; i < a.n; i++ {
-		if cpu.LoadU32(a.base+uint64(i)*4) == v {
-			count++
+	for done := 0; done < a.n; {
+		c := min(a.n-done, chunkElems)
+		vals := a.elems[:c]
+		cpu.LoadU32Slice(a.base+uint64(done)*4, vals)
+		for _, e := range vals {
+			if e == v {
+				count++
+			}
 		}
-		cpu.Compute(3) // compare, conditional increment, loop
+		cpu.Compute(uint64(c) * 3) // compare, conditional increment, loop
+		done += c
 	}
 	return count, nil
 }

@@ -164,65 +164,88 @@ func (a *Active) AdjacentDifference() error {
 // Extension circuits. They reuse the find/insert datapath shapes: a scan
 // datapath with an accumulator fits comfortably in the page budget.
 
-type accumulateFn struct{}
+type accumulateFn struct{ vals []uint32 }
 
-func (accumulateFn) Name() string          { return "arr-accumulate" }
-func (accumulateFn) Design() *logic.Design { return circuits.ArrayFind() }
+func (*accumulateFn) Name() string          { return "arr-accumulate" }
+func (*accumulateFn) Design() *logic.Design { return circuits.ArrayFind() }
 
-func (accumulateFn) Run(ctx *core.PageContext) (core.Result, error) {
+func (f *accumulateFn) Run(ctx *core.PageContext) (core.Result, error) {
 	used := ctx.Args[0]
 	base := uint64(layout.HeaderBytes)
+	if uint64(len(f.vals)) < used {
+		f.vals = make([]uint32, used)
+	}
+	vals := f.vals[:used]
+	ctx.ReadU32Slice(base, vals)
 	var sum uint64
-	for i := uint64(0); i < used; i++ {
-		sum += uint64(ctx.ReadU32(base + i*4))
+	for _, v := range vals {
+		sum += uint64(v)
 	}
 	ctx.WriteU32(slotSum, uint32(sum))
 	ctx.WriteU32(slotSum+4, uint32(sum>>32))
 	return ctx.Finish(used + 4)
 }
 
-type scanFn struct{}
+type scanFn struct{ vals []uint32 }
 
-func (scanFn) Name() string          { return "arr-scan" }
-func (scanFn) Design() *logic.Design { return circuits.ArrayInsert() }
+func (*scanFn) Name() string          { return "arr-scan" }
+func (*scanFn) Design() *logic.Design { return circuits.ArrayInsert() }
 
-func (scanFn) Run(ctx *core.PageContext) (core.Result, error) {
+func (f *scanFn) Run(ctx *core.PageContext) (core.Result, error) {
 	used, phase, offset := ctx.Args[0], ctx.Args[1], uint32(ctx.Args[2])
 	base := uint64(layout.HeaderBytes)
+	if uint64(len(f.vals)) < used {
+		f.vals = make([]uint32, used)
+	}
+	vals := f.vals[:used]
+	ctx.ReadU32Slice(base, vals)
 	if phase == 1 {
 		// Offset pass: add the preceding pages' total to every element.
-		for i := uint64(0); i < used; i++ {
-			ctx.WriteU32(base+i*4, ctx.ReadU32(base+i*4)+offset)
+		for i := range vals {
+			vals[i] += offset
 		}
+		ctx.WriteU32Slice(base, vals)
 		return ctx.Finish(used + 4)
 	}
 	var run uint32
-	for i := uint64(0); i < used; i++ {
-		run += ctx.ReadU32(base + i*4)
-		ctx.WriteU32(base+i*4, run)
+	for i, v := range vals {
+		run += v
+		vals[i] = run
 	}
+	ctx.WriteU32Slice(base, vals)
 	ctx.WriteU32(slotSum, run)
 	return ctx.Finish(used + 4)
 }
 
-type adjDiffFn struct{}
+type adjDiffFn struct{ vals []uint32 }
 
-func (adjDiffFn) Name() string          { return "arr-adjdiff" }
-func (adjDiffFn) Design() *logic.Design { return circuits.ArrayDelete() }
+func (*adjDiffFn) Name() string          { return "arr-adjdiff" }
+func (*adjDiffFn) Design() *logic.Design { return circuits.ArrayDelete() }
 
-func (adjDiffFn) Run(ctx *core.PageContext) (core.Result, error) {
+func (f *adjDiffFn) Run(ctx *core.PageContext) (core.Result, error) {
 	used, seed, isFirst := ctx.Args[0], uint32(ctx.Args[1]), ctx.Args[2] != 0
 	base := uint64(layout.HeaderBytes)
+	if used == 0 {
+		return ctx.Finish(4)
+	}
+	if uint64(len(f.vals)) < used {
+		f.vals = make([]uint32, used)
+	}
+	vals := f.vals[:used]
+	ctx.ReadU32Slice(base, vals)
 	prev := seed
-	start := uint64(0)
+	start := 0
 	if isFirst {
-		prev = ctx.ReadU32(base)
+		prev = vals[0]
 		start = 1
 	}
-	for i := start; i < used; i++ {
-		v := ctx.ReadU32(base + i*4)
-		ctx.WriteU32(base+i*4, v-prev)
+	for i := start; i < len(vals); i++ {
+		v := vals[i]
+		vals[i] = v - prev
 		prev = v
+	}
+	if start < len(vals) {
+		ctx.WriteU32Slice(base+uint64(start)*4, vals[start:])
 	}
 	return ctx.Finish(used + 4)
 }

@@ -1,0 +1,89 @@
+package apps_test
+
+import (
+	"maps"
+	"testing"
+
+	"activepages/internal/apps"
+	"activepages/internal/apps/array"
+	"activepages/internal/apps/database"
+	"activepages/internal/apps/lcs"
+	"activepages/internal/apps/matrix"
+	"activepages/internal/apps/median"
+	"activepages/internal/apps/mpeg"
+	"activepages/internal/obs"
+	"activepages/internal/radram"
+	"activepages/internal/run"
+)
+
+// measureMode is apps.Measure with every fast path switched off when
+// reference is set: the CPUs issue one scalar access per element and the
+// hierarchies probe every line through the full chain.
+func measureMode(t *testing.T, b apps.Benchmark, cfg radram.Config, pages float64, reference bool) (apps.Measurement, obs.Snapshot) {
+	t.Helper()
+	conv, rad, err := run.NewPair(cfg)
+	if err != nil {
+		t.Fatalf("%s: build pair: %v", b.Name(), err)
+	}
+	for _, m := range []*run.Machine{conv, rad} {
+		m.CPU.ForceScalar = reference
+		m.Hier.Reference = reference
+	}
+	if err := b.Run(conv.Machine, pages); err != nil {
+		t.Fatalf("%s (conventional, ref=%v): %v", b.Name(), reference, err)
+	}
+	if err := b.Run(rad.Machine, pages); err != nil {
+		t.Fatalf("%s (radram, ref=%v): %v", b.Name(), reference, err)
+	}
+	meas := apps.Measurement{
+		Benchmark:  b.Name(),
+		Pages:      pages,
+		ConvTime:   conv.Elapsed(),
+		RadTime:    rad.Elapsed(),
+		NonOverlap: rad.CPU.Stats.NonOverlapFraction(),
+	}
+	snap := conv.Snapshot().WithPrefix("conv.")
+	snap.Merge(rad.Snapshot().WithPrefix("rad."))
+	return meas, snap
+}
+
+// TestGoldenEquivalence is the experiment-level gate for the batched fast
+// paths: every study must produce bit-identical times, derived metrics,
+// and the complete counter snapshot whether the simulator runs through
+// the batched pipeline or the scalar reference pipeline.
+func TestGoldenEquivalence(t *testing.T) {
+	cfg := radram.DefaultConfig().WithPageBytes(64 * 1024)
+	benchmarks := []apps.Benchmark{
+		array.Benchmark{},
+		database.Benchmark{},
+		median.Benchmark{},
+		lcs.Benchmark{},
+		matrix.Benchmark{Variant: matrix.Simplex},
+		matrix.Benchmark{Variant: matrix.Boeing},
+		mpeg.Benchmark{},
+	}
+	for _, b := range benchmarks {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			t.Parallel()
+			const pages = 2
+			fastM, fastS := measureMode(t, b, cfg, pages, false)
+			refM, refS := measureMode(t, b, cfg, pages, true)
+			if fastM != refM {
+				t.Errorf("measurement diverged:\n fast %+v\n  ref %+v", fastM, refM)
+			}
+			if !maps.Equal(fastS, refS) {
+				for _, name := range refS.Names() {
+					if fastS[name] != refS[name] {
+						t.Errorf("counter %s = %d, want %d", name, fastS[name], refS[name])
+					}
+				}
+				for _, name := range fastS.Names() {
+					if _, ok := refS[name]; !ok {
+						t.Errorf("counter %s only present in fast snapshot", name)
+					}
+				}
+			}
+		})
+	}
+}

@@ -115,6 +115,18 @@ func (b Benchmark) Run(m *radram.Machine, pages float64) error {
 	return nil
 }
 
+// packCSR converts the matrix's columns and values to the simulated-memory
+// word formats for bulk setup writes (setup helper, not timed).
+func packCSR(mat *workload.SparseMatrix) ([]uint32, []uint64) {
+	cols := make([]uint32, mat.NNZ())
+	vals := make([]uint64, mat.NNZ())
+	for k, c := range mat.Col {
+		cols[k] = uint32(c)
+		vals[k] = math.Float64bits(mat.Val[k])
+	}
+	return cols, vals
+}
+
 // ---------------------------------------------------------------------------
 // Conventional implementation.
 
@@ -124,10 +136,9 @@ func runConventional(m *radram.Machine, mat *workload.SparseMatrix, nPairs int) 
 	base := uint64(layout.DataBase)
 	colBase := base
 	valBase := base + uint64(mat.NNZ())*4
-	for k, c := range mat.Col {
-		m.Store.WriteU32(colBase+uint64(k)*4, uint32(c))
-		m.Store.WriteU64(valBase+uint64(k)*8, math.Float64bits(mat.Val[k]))
-	}
+	cols, vals := packCSR(mat)
+	m.Store.WriteU32Slice(colBase, cols)
+	m.Store.WriteU64Slice(valBase, vals)
 
 	cpu := m.CPU
 	out := make([]float64, nPairs)
@@ -176,36 +187,64 @@ const (
 	dirWords      = 8
 )
 
-// gatherFn is the compare-gather circuit.
-type gatherFn struct{}
+// gatherFn is the compare-gather circuit. Context reads are functional, so
+// the circuit bulk-reads each pair's index and value vectors and merge-walks
+// them host-side; the charge is the cycle count computed below, which keeps
+// the per-step merge accounting. Scratch slices persist across activations
+// (functions are bound per machine, single-threaded).
+type gatherFn struct {
+	dir, colA, colB []uint32
+	valA, valB, out []uint64
+}
 
-func (gatherFn) Name() string          { return "mat-gather" }
-func (gatherFn) Design() *logic.Design { return circuits.Matrix() }
+func (*gatherFn) Name() string          { return "mat-gather" }
+func (*gatherFn) Design() *logic.Design { return circuits.Matrix() }
 
-func (gatherFn) Run(ctx *core.PageContext) (core.Result, error) {
+func (f *gatherFn) grow(n uint64) {
+	if uint64(len(f.colA)) < n {
+		f.colA = make([]uint32, n)
+		f.colB = make([]uint32, n)
+		f.valA = make([]uint64, n)
+		f.valB = make([]uint64, n)
+		f.out = make([]uint64, 2*n)
+	}
+}
+
+func (f *gatherFn) Run(ctx *core.PageContext) (core.Result, error) {
 	nPairs := ctx.ReadU32(slotPairCount)
+	if uint64(len(f.dir)) < uint64(nPairs)*dirWords {
+		f.dir = make([]uint32, uint64(nPairs)*dirWords)
+	}
+	dir := f.dir[:uint64(nPairs)*dirWords]
+	ctx.ReadU32Slice(dirBase, dir)
 	var cycles uint64
 	for p := uint32(0); p < nPairs; p++ {
-		d := uint64(dirBase) + uint64(p)*dirWords*4
-		nA := uint64(ctx.ReadU32(d))
-		offColA := uint64(ctx.ReadU32(d + 4))
-		offValA := uint64(ctx.ReadU32(d + 8))
-		nB := uint64(ctx.ReadU32(d + 12))
-		offColB := uint64(ctx.ReadU32(d + 16))
-		offValB := uint64(ctx.ReadU32(d + 20))
-		offOut := uint64(ctx.ReadU32(d + 24))
+		d := dir[uint64(p)*dirWords:]
+		nA := uint64(d[0])
+		offColA := uint64(d[1])
+		offValA := uint64(d[2])
+		nB := uint64(d[3])
+		offColB := uint64(d[4])
+		offValB := uint64(d[5])
+		offOut := uint64(d[6])
+
+		f.grow(max(nA, nB))
+		colA, colB := f.colA[:nA], f.colB[:nB]
+		valA, valB := f.valA[:nA], f.valB[:nB]
+		ctx.ReadU32Slice(offColA, colA)
+		ctx.ReadU32Slice(offColB, colB)
+		ctx.ReadU64Slice(offValA, valA)
+		ctx.ReadU64Slice(offValB, valB)
 
 		var ia, ib, matches uint64
-		out := offOut + 4
 		for ia < nA && ib < nB {
-			ca := ctx.ReadU32(offColA + ia*4)
-			cb := ctx.ReadU32(offColB + ib*4)
+			ca := colA[ia]
+			cb := colB[ib]
 			cycles += 2 // fetch + compare/advance
 			switch {
 			case ca == cb:
-				ctx.WriteU64(out, ctx.ReadU64(offValA+ia*8))
-				ctx.WriteU64(out+8, ctx.ReadU64(offValB+ib*8))
-				out += 16
+				f.out[2*matches] = valA[ia]
+				f.out[2*matches+1] = valB[ib]
 				matches++
 				cycles += 4 // gather two doubles through the 32-bit port
 				ia++
@@ -215,6 +254,9 @@ func (gatherFn) Run(ctx *core.PageContext) (core.Result, error) {
 			default:
 				ib++
 			}
+		}
+		if matches > 0 {
+			ctx.WriteU64Slice(offOut+4, f.out[:2*matches])
 		}
 		ctx.WriteU32(offOut, uint32(matches))
 		cycles += 6 // pair FSM overhead
@@ -252,12 +294,13 @@ func runRADram(m *radram.Machine, mat *workload.SparseMatrix, nPairs int) ([]flo
 	if err != nil {
 		return nil, err
 	}
-	if err := m.AP.Bind("matrix", gatherFn{}); err != nil {
+	if err := m.AP.Bind("matrix", &gatherFn{}); err != nil {
 		return nil, err
 	}
 
 	// Lay out each page: directory, then row data, then output areas
 	// (setup, not timed — data is resident in memory).
+	cols, vals := packCSR(mat)
 	outOffs := make([][]uint32, len(plans))
 	for pi, plan := range plans {
 		base := pagesList[pi].Base
@@ -287,10 +330,8 @@ func runRADram(m *radram.Machine, mat *workload.SparseMatrix, nPairs int) ([]flo
 
 			writeRow := func(colOff, valOff uint32, row int) {
 				s, e := mat.RowPtr[row], mat.RowPtr[row+1]
-				for j := s; j < e; j++ {
-					m.Store.WriteU32(base+uint64(colOff)+uint64(j-s)*4, uint32(mat.Col[j]))
-					m.Store.WriteU64(base+uint64(valOff)+uint64(j-s)*8, math.Float64bits(mat.Val[j]))
-				}
+				m.Store.WriteU32Slice(base+uint64(colOff), cols[s:e])
+				m.Store.WriteU64Slice(base+uint64(valOff), vals[s:e])
 			}
 			writeRow(offColA, offValA, p)
 			writeRow(offColB, offValB, p+1)

@@ -127,17 +127,12 @@ func run(m *radram.Machine, pages float64, total bool) error {
 func runConventional(m *radram.Machine, img *workload.Image, total bool) *workload.Image {
 	inBase := uint64(layout.DataBase)
 	outBase := inBase + uint64(len(img.Pix))*2
-	buf := make([]byte, len(img.Pix)*2)
-	for i, p := range img.Pix {
-		buf[i*2] = byte(p)
-		buf[i*2+1] = byte(p >> 8)
-	}
-	m.Store.Write(inBase, buf) // setup, not timed
+	m.Store.WriteU16Slice(inBase, img.Pix) // setup, not timed
 
 	if total {
 		// Image I/O phase: the conventional version also walks the input
 		// once (read from I/O buffer, write to working array).
-		chargeStreamCopy(m, inBase, scratchBase, uint64(len(buf)))
+		chargeStreamCopy(m, inBase, scratchBase, uint64(len(img.Pix))*2)
 	}
 
 	cpu := m.CPU
@@ -202,31 +197,47 @@ const scratchBase = 1 << 32
 
 // medianFn is the page circuit: 3x3 median over the page's row block.
 // Layout inside a page: header | input rows (block+2 halos) | output rows.
-type medianFn struct{ w int }
+// The in/out scratch slices persist across activations; functions are
+// bound per machine, so reuse is single-threaded.
+type medianFn struct {
+	w   int
+	in  []uint16
+	out []uint16
+}
 
-func (medianFn) Name() string          { return "median9" }
-func (medianFn) Design() *logic.Design { return circuits.Median() }
+func (*medianFn) Name() string          { return "median9" }
+func (*medianFn) Design() *logic.Design { return circuits.Median() }
 
-func (f medianFn) Run(ctx *core.PageContext) (core.Result, error) {
+func (f *medianFn) Run(ctx *core.PageContext) (core.Result, error) {
 	rows := int(ctx.Args[0]) // output rows in this block
 	w := f.w
 	inOff := uint64(layout.HeaderBytes)
 	outOff := inOff + uint64((rows+2)*w)*2
+
+	if len(f.in) < (rows+2)*w {
+		f.in = make([]uint16, (rows+2)*w)
+	}
+	if len(f.out) < rows*w {
+		f.out = make([]uint16, rows*w)
+	}
+	in, out := f.in[:(rows+2)*w], f.out[:rows*w]
+	ctx.ReadU16Slice(inOff, in)
 
 	var win [9]uint16
 	for y := 0; y < rows; y++ {
 		for x := 0; x < w; x++ {
 			k := 0
 			for dy := 0; dy <= 2; dy++ {
+				base := (y + dy) * w
 				for dx := -1; dx <= 1; dx++ {
-					xx := clamp(x+dx, w)
-					win[k] = ctx.ReadU16(inOff + uint64((y+dy)*w+xx)*2)
+					win[k] = in[base+clamp(x+dx, w)]
 					k++
 				}
 			}
-			ctx.WriteU16(outOff+uint64(y*w+x)*2, workload.Median9(win))
+			out[y*w+x] = workload.Median9(win)
 		}
 	}
+	ctx.WriteU16Slice(outOff, out)
 	return ctx.Finish(uint64(rows*w) * medianCyclesPerPixel)
 }
 
@@ -242,15 +253,9 @@ func runRADram(m *radram.Machine, img *workload.Image, total bool) (*workload.Im
 
 	// Layout transform: place each block with replicated halo rows.
 	rowBytes := uint64(img.W) * 2
-	rowBuf := make([]byte, rowBytes)
 	writeRow := func(dst uint64, y int) {
 		y = clamp(y, img.H)
-		for x := 0; x < img.W; x++ {
-			v := img.Pix[y*img.W+x]
-			rowBuf[x*2] = byte(v)
-			rowBuf[x*2+1] = byte(v >> 8)
-		}
-		m.Store.Write(dst, rowBuf)
+		m.Store.WriteU16Slice(dst, img.Pix[y*img.W:(y+1)*img.W])
 	}
 	for p := 0; p < nPages; p++ {
 		first := p * rows
@@ -270,7 +275,7 @@ func runRADram(m *radram.Machine, img *workload.Image, total bool) (*workload.Im
 		m.CPU.Compute(uint64(nPages) * 64) // per-block halo bookkeeping
 	}
 
-	if err := m.AP.Bind("median", medianFn{w: img.W}); err != nil {
+	if err := m.AP.Bind("median", &medianFn{w: img.W}); err != nil {
 		return nil, err
 	}
 	for p := 0; p < nPages; p++ {
@@ -287,11 +292,7 @@ func runRADram(m *radram.Machine, img *workload.Image, total bool) (*workload.Im
 		m.AP.Wait(pagesList[p])
 		blk := min(rows, img.H-p*rows)
 		outAddr := pagesList[p].Base + layout.HeaderBytes + uint64(blk+2)*rowBytes
-		blkBuf := make([]byte, uint64(blk)*rowBytes)
-		m.Store.Read(outAddr, blkBuf)
-		for i := 0; i < blk*img.W; i++ {
-			out.Pix[p*rows*img.W+i] = uint16(blkBuf[i*2]) | uint16(blkBuf[i*2+1])<<8
-		}
+		m.Store.ReadU16Slice(outAddr, out.Pix[p*rows*img.W:p*rows*img.W+blk*img.W])
 		// The processor touches one sync word per page here; bulk image
 		// output stays in memory for the next pipeline stage.
 		m.CPU.Compute(8)

@@ -95,6 +95,16 @@ func saturate(v int32) int16 {
 	return int16(v)
 }
 
+// packU16 reinterprets a sample slice as raw halfwords for bulk store
+// writes (setup helper, not timed).
+func packU16(src []int16) []uint16 {
+	out := make([]uint16, len(src))
+	for i, v := range src {
+		out[i] = uint16(v)
+	}
+	return out
+}
+
 // ---------------------------------------------------------------------------
 // Conventional implementation: SimpleScalar-style MMX loop.
 
@@ -104,10 +114,8 @@ func runConventional(m *radram.Machine, f *workload.MPEGFrame) []int16 {
 	refB := base
 	corB := base + uint64(n)*2
 	outB := corB + uint64(n)*2
-	for i := 0; i < n; i++ {
-		m.Store.WriteU16(refB+uint64(i)*2, uint16(f.Reference[i]))
-		m.Store.WriteU16(corB+uint64(i)*2, uint16(f.Correction[i]))
-	}
+	m.Store.WriteU16Slice(refB, packU16(f.Reference))
+	m.Store.WriteU16Slice(corB, packU16(f.Correction))
 
 	cpu := m.CPU
 	out := make([]int16, n)
@@ -134,21 +142,32 @@ func runConventional(m *radram.Machine, f *workload.MPEGFrame) []int16 {
 // Page layout: header | reference hw | correction hw | output hw.
 
 // wideMMXFn executes one wide paddsw instruction over a halfword range.
-type wideMMXFn struct{}
+// The lane scratch slices persist across activations (functions are bound
+// per machine, single-threaded).
+type wideMMXFn struct {
+	ref, cor, out []uint16
+}
 
-func (wideMMXFn) Name() string          { return "mmx-paddsw" }
-func (wideMMXFn) Design() *logic.Design { return circuits.MPEGMMX() }
+func (*wideMMXFn) Name() string          { return "mmx-paddsw" }
+func (*wideMMXFn) Design() *logic.Design { return circuits.MPEGMMX() }
 
-func (wideMMXFn) Run(ctx *core.PageContext) (core.Result, error) {
+func (f *wideMMXFn) Run(ctx *core.PageContext) (core.Result, error) {
 	startHW, countHW, totalHW := ctx.Args[0], ctx.Args[1], ctx.Args[2]
 	refOff := uint64(layout.HeaderBytes)
 	corOff := refOff + totalHW*2
 	outOff := corOff + totalHW*2
-	for i := startHW; i < startHW+countHW; i++ {
-		r := int32(int16(ctx.ReadU16(refOff + i*2)))
-		c := int32(int16(ctx.ReadU16(corOff + i*2)))
-		ctx.WriteU16(outOff+i*2, uint16(saturate(r+c)))
+	if uint64(len(f.ref)) < countHW {
+		f.ref = make([]uint16, countHW)
+		f.cor = make([]uint16, countHW)
+		f.out = make([]uint16, countHW)
 	}
+	ref, cor, out := f.ref[:countHW], f.cor[:countHW], f.out[:countHW]
+	ctx.ReadU16Slice(refOff+startHW*2, ref)
+	ctx.ReadU16Slice(corOff+startHW*2, cor)
+	for i := range ref {
+		out[i] = uint16(saturate(int32(int16(ref[i])) + int32(int16(cor[i]))))
+	}
+	ctx.WriteU16Slice(outOff+startHW*2, out)
 	// Two 16-bit lanes per datapath cycle; one write cycle per two lanes.
 	return ctx.Finish(countHW / laneCount * 3 / 2)
 }
@@ -161,21 +180,21 @@ func runRADram(m *radram.Machine, f *workload.MPEGFrame) ([]int16, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := m.AP.Bind("mpeg", wideMMXFn{}); err != nil {
+	if err := m.AP.Bind("mpeg", &wideMMXFn{}); err != nil {
 		return nil, err
 	}
 
 	// Block the frame across pages (setup, not timed).
+	refHW := packU16(f.Reference)
+	corHW := packU16(f.Correction)
 	for p := 0; p < nPages; p++ {
 		base := pagesList[p].Base
 		first := p * perPage
 		cnt := min(perPage, n-first)
 		refOff := base + layout.HeaderBytes
 		corOff := refOff + uint64(perPage)*2
-		for i := 0; i < cnt; i++ {
-			m.Store.WriteU16(refOff+uint64(i)*2, uint16(f.Reference[first+i]))
-			m.Store.WriteU16(corOff+uint64(i)*2, uint16(f.Correction[first+i]))
-		}
+		m.Store.WriteU16Slice(refOff, refHW[first:first+cnt])
+		m.Store.WriteU16Slice(corOff, corHW[first:first+cnt])
 	}
 
 	// Dispatch: one wide-MMX instruction per instrBlockHW halfwords. The
@@ -209,14 +228,16 @@ func runRADram(m *radram.Machine, f *workload.MPEGFrame) ([]int16, error) {
 	// Collect: the corrected frame stays in memory for the next codec
 	// stage; the processor checks completion per page.
 	out := make([]int16, n)
+	outHW := make([]uint16, perPage)
 	for p := 0; p < nPages; p++ {
 		m.AP.Wait(pagesList[p])
 		base := pagesList[p].Base
 		first := p * perPage
 		cnt := min(perPage, n-first)
 		outOff := base + layout.HeaderBytes + uint64(perPage)*4
+		m.Store.ReadU16Slice(outOff, outHW[:cnt])
 		for i := 0; i < cnt; i++ {
-			out[first+i] = int16(m.Store.ReadU16(outOff + uint64(i)*2))
+			out[first+i] = int16(outHW[i])
 		}
 		cpu.Compute(6)
 	}

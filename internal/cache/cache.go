@@ -10,6 +10,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"activepages/internal/obs"
 )
@@ -78,6 +79,16 @@ type Cache struct {
 	cfg   Config
 	sets  [][]line
 	nsets uint64
+	// lineShift/setMask/setShift turn locate's divisions into shifts.
+	// LineBytes is always a power of two; the set count is in every real
+	// configuration too (setsPow2 guards the rare test configs where an
+	// odd associativity makes it composite).
+	lineShift uint
+	setShift  uint
+	setMask   uint64
+	setsPow2  bool
+	// mru[set] is the way hit most recently, checked before the full scan.
+	mru   []int32
 	clock uint64 // LRU sequence source
 	Stats Stats
 }
@@ -94,7 +105,14 @@ func New(cfg Config) *Cache {
 	for i := range sets {
 		sets[i] = backing[uint64(i)*uint64(cfg.Assoc) : (uint64(i)+1)*uint64(cfg.Assoc)]
 	}
-	return &Cache{cfg: cfg, sets: sets, nsets: nsets}
+	c := &Cache{cfg: cfg, sets: sets, nsets: nsets, mru: make([]int32, nsets)}
+	c.lineShift = uint(bits.TrailingZeros64(cfg.LineBytes))
+	if nsets&(nsets-1) == 0 {
+		c.setsPow2 = true
+		c.setShift = uint(bits.TrailingZeros64(nsets))
+		c.setMask = nsets - 1
+	}
+	return c
 }
 
 // Config returns the cache's configuration.
@@ -104,7 +122,10 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) LineBytes() uint64 { return c.cfg.LineBytes }
 
 func (c *Cache) locate(addr uint64) (set uint64, tag uint64) {
-	lineAddr := addr / c.cfg.LineBytes
+	lineAddr := addr >> c.lineShift
+	if c.setsPow2 {
+		return lineAddr & c.setMask, lineAddr >> c.setShift
+	}
 	return lineAddr % c.nsets, lineAddr / c.nsets
 }
 
@@ -125,12 +146,24 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 	set, tag := c.locate(addr)
 	c.clock++
 	ways := c.sets[set]
+	// MRU fast path: repeated accesses to the hottest way of a set skip the
+	// associativity scan. Hitting any way is the same state transition
+	// whichever order the ways are probed in, so this cannot change stats.
+	if m := c.mru[set]; ways[m].valid && ways[m].tag == tag {
+		ways[m].lru = c.clock
+		if write {
+			ways[m].dirty = true
+		}
+		c.Stats.Hits++
+		return Result{Hit: true}
+	}
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
 			ways[i].lru = c.clock
 			if write {
 				ways[i].dirty = true
 			}
+			c.mru[set] = int32(i)
 			c.Stats.Hits++
 			return Result{Hit: true}
 		}
@@ -154,7 +187,58 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 		c.Stats.Writebacks++
 	}
 	ways[victim] = line{tag: tag, valid: true, dirty: write, lru: c.clock}
+	c.mru[set] = int32(victim)
 	return res
+}
+
+// AccessFast is the MRU-only hit path: if the line containing addr is the
+// most recently used way of its set, it performs the access (identically to
+// Access) and reports true. Otherwise it reports false having changed
+// nothing, and the caller must fall back to Access. This keeps the
+// single-access fast path small enough to inline.
+func (c *Cache) AccessFast(addr uint64, write bool) bool {
+	set, tag := c.locate(addr)
+	ways := c.sets[set]
+	m := c.mru[set]
+	if !ways[m].valid || ways[m].tag != tag {
+		return false
+	}
+	c.clock++
+	ways[m].lru = c.clock
+	if write {
+		ways[m].dirty = true
+	}
+	c.Stats.Hits++
+	return true
+}
+
+// RepeatHit charges n further accesses to the line containing addr, which
+// the caller knows is resident — typically because it just accessed it.
+// State and statistics end up exactly as n Access calls would leave them:
+// the line was already resident, so each call would hit, bump the clock,
+// refresh the line's LRU stamp, and accumulate the dirty bit. If the line
+// is unexpectedly absent it falls back to n real Access calls.
+func (c *Cache) RepeatHit(addr uint64, n uint64, write bool) {
+	if n == 0 {
+		return
+	}
+	set, tag := c.locate(addr)
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			c.clock += n
+			ways[i].lru = c.clock
+			if write {
+				ways[i].dirty = true
+			}
+			c.mru[set] = int32(i)
+			c.Stats.Hits += n
+			return
+		}
+	}
+	for ; n > 0; n-- {
+		c.Access(addr, write)
+	}
 }
 
 // lineAddr reconstructs the base address of a line from set and tag.

@@ -164,7 +164,7 @@ func (ctx *PageContext) MediatedCopy(dstOff uint64, src uint64, n uint64) {
 	ctx.sys.pendingMediation += cost
 	available += cost
 
-	buf := make([]byte, n)
+	buf := ctx.sys.scratch(n)
 	ctx.sys.store.Read(src, buf)
 	ctx.sys.store.Write(ctx.Addr(dstOff), buf)
 	ctx.noteWrite(dstOff, n)
@@ -211,7 +211,7 @@ func (ctx *PageContext) StreamedCopy(dstOff uint64, src uint64, n uint64, chunks
 		ctx.sys.Stats.InterPageTransfers++
 		ctx.sys.Stats.InterPageBytes += c
 	}
-	buf := make([]byte, n)
+	buf := ctx.sys.scratch(n)
 	ctx.sys.store.Read(src, buf)
 	ctx.sys.store.Write(ctx.Addr(dstOff), buf)
 	ctx.noteWrite(dstOff, n)
@@ -228,6 +228,53 @@ func (ctx *PageContext) WriteU8(off uint64, v uint8) {
 	ctx.check(off, 1)
 	ctx.sys.store.SetByte(ctx.Addr(off), v)
 	ctx.noteWrite(off, 1)
+}
+
+// The typed slice helpers are the bulk forms of the scalar accessors.
+// Context accesses are functional (timing is the function's returned cycle
+// count), so a bulk read/write is semantically identical to the matching
+// element loop: one bounds check and one invalidation note cover the span.
+
+// ReadU16Slice loads len(dst) consecutive 16-bit values starting at off.
+func (ctx *PageContext) ReadU16Slice(off uint64, dst []uint16) {
+	ctx.check(off, uint64(len(dst))*2)
+	ctx.sys.store.ReadU16Slice(ctx.Addr(off), dst)
+}
+
+// WriteU16Slice stores src as consecutive 16-bit values starting at off.
+func (ctx *PageContext) WriteU16Slice(off uint64, src []uint16) {
+	n := uint64(len(src)) * 2
+	ctx.check(off, n)
+	ctx.sys.store.WriteU16Slice(ctx.Addr(off), src)
+	ctx.noteWrite(off, n)
+}
+
+// ReadU32Slice loads len(dst) consecutive 32-bit values starting at off.
+func (ctx *PageContext) ReadU32Slice(off uint64, dst []uint32) {
+	ctx.check(off, uint64(len(dst))*4)
+	ctx.sys.store.ReadU32Slice(ctx.Addr(off), dst)
+}
+
+// WriteU32Slice stores src as consecutive 32-bit values starting at off.
+func (ctx *PageContext) WriteU32Slice(off uint64, src []uint32) {
+	n := uint64(len(src)) * 4
+	ctx.check(off, n)
+	ctx.sys.store.WriteU32Slice(ctx.Addr(off), src)
+	ctx.noteWrite(off, n)
+}
+
+// ReadU64Slice loads len(dst) consecutive 64-bit values starting at off.
+func (ctx *PageContext) ReadU64Slice(off uint64, dst []uint64) {
+	ctx.check(off, uint64(len(dst))*8)
+	ctx.sys.store.ReadU64Slice(ctx.Addr(off), dst)
+}
+
+// WriteU64Slice stores src as consecutive 64-bit values starting at off.
+func (ctx *PageContext) WriteU64Slice(off uint64, src []uint64) {
+	n := uint64(len(src)) * 8
+	ctx.check(off, n)
+	ctx.sys.store.WriteU64Slice(ctx.Addr(off), src)
+	ctx.noteWrite(off, n)
 }
 
 // MediationCost reports the processor time to service one inter-page copy

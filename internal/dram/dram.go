@@ -7,6 +7,7 @@ package dram
 
 import (
 	"fmt"
+	"math/bits"
 
 	"activepages/internal/obs"
 	"activepages/internal/sim"
@@ -70,14 +71,30 @@ type Stats struct {
 	Refreshes uint64
 }
 
+// maxDenseSubarrays caps the lazily-grown dense open-row table. With the
+// paper's 64 KB scaled subarrays this covers an 8 GB address space in 1 MB
+// of host memory; anything beyond spills to the overflow map.
+const maxDenseSubarrays = 1 << 17
+
 // Device is the DRAM timing model. Contents live in the mem.Store; the
 // device tracks only open rows per subarray.
 type Device struct {
 	cfg Config
-	// openRow maps subarray index to its open row index; absent means no
-	// open row.
-	openRow map[uint64]uint64
-	Stats   Stats
+	// openRow holds each subarray's open row index, -1 when closed. It is a
+	// lazily-grown dense slice indexed by subarray number; subarrays past
+	// maxDenseSubarrays live in overflow instead.
+	openRow  []int64
+	overflow map[uint64]uint64
+	// lastSub/lastRow cache the most recent access: sequential sweeps hit
+	// the same row repeatedly and never touch the table.
+	lastSub  uint64
+	lastRow  int64
+	haveLast bool
+	// subShift/rowShift/subMask precompute the power-of-two address splits.
+	subShift uint
+	rowShift uint
+	subMask  uint64
+	Stats    Stats
 }
 
 // New builds a device. It panics on an invalid configuration.
@@ -85,7 +102,12 @@ func New(cfg Config) *Device {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Device{cfg: cfg, openRow: make(map[uint64]uint64)}
+	return &Device{
+		cfg:      cfg,
+		subShift: uint(bits.TrailingZeros64(cfg.SubarrayBytes)),
+		rowShift: uint(bits.TrailingZeros64(cfg.RowBytes)),
+		subMask:  cfg.SubarrayBytes - 1,
+	}
 }
 
 // Config returns the device configuration.
@@ -100,7 +122,7 @@ func (d *Device) Observe(r *obs.Registry, prefix string) {
 }
 
 // Subarray returns the subarray index containing addr.
-func (d *Device) Subarray(addr uint64) uint64 { return addr / d.cfg.SubarrayBytes }
+func (d *Device) Subarray(addr uint64) uint64 { return addr >> d.subShift }
 
 // AccessTime returns the latency to access the row containing addr and
 // updates the open-row state. A zero-AccessTime configuration (Figure 8's
@@ -110,20 +132,62 @@ func (d *Device) AccessTime(addr uint64) sim.Duration {
 	if d.cfg.AccessTime == 0 {
 		return 0
 	}
-	sub := d.Subarray(addr)
-	row := (addr % d.cfg.SubarrayBytes) / d.cfg.RowBytes
-	if open, ok := d.openRow[sub]; ok && open == row {
+	sub := addr >> d.subShift
+	row := int64((addr & d.subMask) >> d.rowShift)
+	if d.haveLast && sub == d.lastSub && row == d.lastRow {
 		d.Stats.RowHits++
 		return d.cfg.RowHitTime
 	}
-	d.openRow[sub] = row
+	d.lastSub, d.lastRow, d.haveLast = sub, row, true
+	if sub < maxDenseSubarrays {
+		if sub >= uint64(len(d.openRow)) {
+			d.growDense(sub)
+		}
+		if d.openRow[sub] == row {
+			d.Stats.RowHits++
+			return d.cfg.RowHitTime
+		}
+		d.openRow[sub] = row
+	} else {
+		if d.overflow == nil {
+			d.overflow = make(map[uint64]uint64)
+		}
+		if open, ok := d.overflow[sub]; ok && open == uint64(row) {
+			d.Stats.RowHits++
+			return d.cfg.RowHitTime
+		}
+		d.overflow[sub] = uint64(row)
+	}
 	d.Stats.RowMisses++
 	return d.cfg.AccessTime
 }
 
+// growDense extends the dense open-row table to cover sub, doubling so
+// growth is amortized, with new entries closed (-1).
+func (d *Device) growDense(sub uint64) {
+	n := uint64(len(d.openRow))
+	if n == 0 {
+		n = 64
+	}
+	for n <= sub {
+		n *= 2
+	}
+	n = min(n, maxDenseSubarrays)
+	grown := make([]int64, n)
+	copy(grown, d.openRow)
+	for i := len(d.openRow); i < int(n); i++ {
+		grown[i] = -1
+	}
+	d.openRow = grown
+}
+
 // CloseAll closes every open row (e.g. after a refresh burst).
 func (d *Device) CloseAll() {
-	clear(d.openRow)
+	for i := range d.openRow {
+		d.openRow[i] = -1
+	}
+	clear(d.overflow)
+	d.haveLast = false
 }
 
 // RefreshOverhead reports the fraction of time a subarray is unavailable due

@@ -1,0 +1,140 @@
+package memsys
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// statesEqual compares every piece of observable hierarchy state the fast
+// paths could disturb.
+func statesEqual(t *testing.T, step int, fast, ref *Hierarchy) {
+	t.Helper()
+	switch {
+	case fast.L1D.Stats != ref.L1D.Stats:
+		t.Fatalf("step %d: L1D %+v, want %+v", step, fast.L1D.Stats, ref.L1D.Stats)
+	case fast.L1I.Stats != ref.L1I.Stats:
+		t.Fatalf("step %d: L1I %+v, want %+v", step, fast.L1I.Stats, ref.L1I.Stats)
+	case fast.L2.Stats != ref.L2.Stats:
+		t.Fatalf("step %d: L2 %+v, want %+v", step, fast.L2.Stats, ref.L2.Stats)
+	case fast.DRAM.Stats != ref.DRAM.Stats:
+		t.Fatalf("step %d: DRAM %+v, want %+v", step, fast.DRAM.Stats, ref.DRAM.Stats)
+	case fast.Bus.Stats != ref.Bus.Stats:
+		t.Fatalf("step %d: bus %+v, want %+v", step, fast.Bus.Stats, ref.Bus.Stats)
+	case fast.UncachedAccesses != ref.UncachedAccesses:
+		t.Fatalf("step %d: uncached %d, want %d", step, fast.UncachedAccesses, ref.UncachedAccesses)
+	}
+}
+
+func randKind(rng *rand.Rand) AccessKind {
+	switch rng.Intn(6) {
+	case 0:
+		return Fetch
+	case 1, 2:
+		return Write
+	case 3:
+		return UncachedRead
+	default:
+		return Read
+	}
+}
+
+// TestAccessRangeMatchesReference drives twin hierarchies — one with the
+// fast paths, one in Reference mode — through one random trace of ranged
+// accesses and requires identical timing and state at every step.
+func TestAccessRangeMatchesReference(t *testing.T) {
+	fast, ref := New(DefaultConfig()), New(DefaultConfig())
+	ref.Reference = true
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50000; i++ {
+		addr := uint64(rng.Intn(1 << 18))
+		size := uint64(rng.Intn(200) + 1)
+		kind := randKind(rng)
+		if got, want := fast.AccessRange(addr, size, kind), ref.AccessRange(addr, size, kind); got != want {
+			t.Fatalf("step %d: AccessRange(%#x,%d,%d) = %v, want %v", i, addr, size, kind, got, want)
+		}
+		statesEqual(t, i, fast, ref)
+	}
+}
+
+// TestAccessElemsMatchesReference proves the batched element walk is
+// indistinguishable from n scalar accesses: the Reference hierarchy
+// degrades AccessElems to exactly that loop.
+func TestAccessElemsMatchesReference(t *testing.T) {
+	fast, ref := New(DefaultConfig()), New(DefaultConfig())
+	ref.Reference = true
+	rng := rand.New(rand.NewSource(5))
+	widths := []uint64{1, 2, 4, 8}
+	for i := 0; i < 20000; i++ {
+		w := widths[rng.Intn(len(widths))]
+		// Mix aligned streams (the batch path) with deliberately unaligned
+		// ones (the straddle fallback).
+		addr := uint64(rng.Intn(1 << 18))
+		if rng.Intn(4) != 0 {
+			addr &^= w - 1
+		}
+		n := uint64(rng.Intn(100) + 1)
+		kind := randKind(rng)
+		if got, want := fast.AccessElems(addr, w, n, kind), ref.AccessElems(addr, w, n, kind); got != want {
+			t.Fatalf("step %d: AccessElems(%#x,%d,%d,%d) = %v, want %v", i, addr, w, n, kind, got, want)
+		}
+		statesEqual(t, i, fast, ref)
+	}
+}
+
+// TestAccessZeroAllocs pins the zero-allocation contract of the access
+// path after warmup.
+func TestAccessZeroAllocs(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Access(0, 4, Read)
+	if n := testing.AllocsPerRun(100, func() {
+		h.Access(0, 4, Read)
+		h.Access(64, 4, Write)
+		h.AccessElems(0, 4, 16, Read)
+		h.Access(1<<30, 8, UncachedRead)
+	}); n != 0 {
+		t.Fatalf("access path allocates %v times per op", n)
+	}
+}
+
+func BenchmarkHierarchyAccess(b *testing.B) {
+	b.Run("l1-hit", func(b *testing.B) {
+		h := New(DefaultConfig())
+		h.Access(0, 4, Read)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = h.Access(0, 4, Read)
+		}
+	})
+	b.Run("miss-stream", func(b *testing.B) {
+		h := New(DefaultConfig())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// 2 MB stride stream: misses every level.
+			_ = h.Access(uint64(i)<<21, 4, Read)
+		}
+	})
+	b.Run("uncached", func(b *testing.B) {
+		h := New(DefaultConfig())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = h.Access(uint64(i)*64, 4, UncachedRead)
+		}
+	})
+	b.Run("elems-batched", func(b *testing.B) {
+		h := New(DefaultConfig())
+		h.AccessElems(0, 4, 256, Read)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = h.AccessElems(0, 4, 256, Read)
+		}
+	})
+	b.Run("elems-reference", func(b *testing.B) {
+		h := New(DefaultConfig())
+		h.Reference = true
+		h.AccessElems(0, 4, 256, Read)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = h.AccessElems(0, 4, 256, Read)
+		}
+	})
+}

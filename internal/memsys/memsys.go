@@ -72,6 +72,12 @@ type Hierarchy struct {
 
 	// UncachedAccesses counts accesses that bypassed the caches.
 	UncachedAccesses uint64
+
+	// Reference disables the batched fast paths: AccessElems degrades to a
+	// per-element Access loop and AccessRange probes every line through the
+	// full chain. Timing and statistics must be identical either way — the
+	// equivalence tests run one machine in each mode and diff everything.
+	Reference bool
 }
 
 // New builds the hierarchy. It panics on invalid cache configuration.
@@ -113,6 +119,15 @@ func (h *Hierarchy) lineFill(addr uint64, lineBytes uint64) sim.Duration {
 // Access performs an access of size bytes at addr and returns its latency.
 // Accesses spanning multiple cache lines are charged per line.
 func (h *Hierarchy) Access(addr uint64, size uint64, kind AccessKind) sim.Duration {
+	return h.AccessRange(addr, size, kind)
+}
+
+// AccessRange charges an access of size bytes at addr in one pass and
+// returns its latency. It is the canonical access entry point: timing,
+// statistics, and cache state are those of the per-line walk, but each
+// resident line is resolved through the L1's MRU fast path without
+// entering the full L1→L2→memory chain.
+func (h *Hierarchy) AccessRange(addr uint64, size uint64, kind AccessKind) sim.Duration {
 	if size == 0 {
 		return 0
 	}
@@ -131,11 +146,79 @@ func (h *Hierarchy) Access(addr uint64, size uint64, kind AccessKind) sim.Durati
 	}
 	write := kind == Write
 
-	var total sim.Duration
 	line := l1.LineBytes()
 	first := addr &^ (line - 1)
-	for a := first; a < addr+size; a += line {
+	last := (addr + size - 1) &^ (line - 1)
+	if first == last && !h.Reference {
+		// Single-line access — the overwhelmingly common shape.
+		if l1.AccessFast(first, write) {
+			return h.cfg.L1HitTime
+		}
+		return h.accessLine(l1, first, write)
+	}
+	var total sim.Duration
+	for a := first; a <= last; a += line {
+		if !h.Reference && l1.AccessFast(a, write) {
+			total += h.cfg.L1HitTime
+			continue
+		}
 		total += h.accessLine(l1, a, write)
+	}
+	return total
+}
+
+// AccessElems charges n consecutive elemBytes-wide accesses starting at
+// addr and returns their summed latency. It is exactly equivalent — in
+// timing, statistics, and cache state — to n sequential Access calls:
+// within one cache line, every access after the first is a guaranteed hit
+// (nothing can evict the line in between), so the batch charges one real
+// line access plus k−1 RepeatHit hits per line instead of walking the
+// hierarchy k times.
+func (h *Hierarchy) AccessElems(addr, elemBytes, n uint64, kind AccessKind) sim.Duration {
+	if n == 0 || elemBytes == 0 {
+		return 0
+	}
+	switch kind {
+	case UncachedRead, UncachedWrite:
+		h.UncachedAccesses += n
+		var total sim.Duration
+		for i := uint64(0); i < n; i++ {
+			total += h.memoryTime(addr+i*elemBytes, elemBytes)
+		}
+		return total
+	}
+
+	l1 := h.L1D
+	if kind == Fetch {
+		l1 = h.L1I
+	}
+	write := kind == Write
+	line := l1.LineBytes()
+	// The batch is only safe when no element straddles a line; otherwise
+	// (and in Reference mode) fall back to the per-element loop.
+	if h.Reference || line%elemBytes != 0 || addr%elemBytes != 0 {
+		var total sim.Duration
+		for i := uint64(0); i < n; i++ {
+			total += h.AccessRange(addr+i*elemBytes, elemBytes, kind)
+		}
+		return total
+	}
+
+	var total sim.Duration
+	end := addr + n*elemBytes
+	for a := addr; a < end; {
+		stop := min((a&^(line-1))+line, end)
+		k := (stop - a) / elemBytes
+		if l1.AccessFast(a, write) {
+			total += h.cfg.L1HitTime
+		} else {
+			total += h.accessLine(l1, a, write)
+		}
+		if k > 1 {
+			l1.RepeatHit(a, k-1, write)
+			total += sim.Duration(k-1) * h.cfg.L1HitTime
+		}
+		a = stop
 	}
 	return total
 }

@@ -81,6 +81,11 @@ type CPU struct {
 	store *mem.Store
 	now   sim.Time
 	Stats Stats
+
+	// ForceScalar makes the typed slice accessors issue one scalar access
+	// per element instead of batching through AccessElems. The ledger must
+	// come out identical either way; the equivalence tests flip this.
+	ForceScalar bool
 }
 
 // New builds a CPU over the hierarchy and backing store.
@@ -159,6 +164,31 @@ func (c *CPU) access(addr, size uint64, kind memsys.AccessKind) {
 	}
 }
 
+// bulkAccess charges n consecutive elemBytes-wide data accesses in one
+// pass. The ledger split is exactly n scalar access calls' worth: every
+// cached access costs at least L1HitTime (a hit is L1HitTime, a miss is
+// L1HitTime plus the lower levels), so each access's compute share is the
+// full hit time and the remainder of the batch is memory stall.
+func (c *CPU) bulkAccess(addr, elemBytes, n uint64, kind memsys.AccessKind) {
+	if n == 0 {
+		return
+	}
+	t := c.hier.AccessElems(addr, elemBytes, n, kind)
+	var hitTotal sim.Duration
+	if kind != memsys.UncachedRead && kind != memsys.UncachedWrite {
+		hitTotal = sim.Duration(n) * c.hier.Config().L1HitTime
+	}
+	c.now += t
+	c.Stats.ComputeTime += hitTotal
+	c.Stats.MemStallTime += t - hitTotal
+	c.Stats.Instructions += n
+	if kind == memsys.Read || kind == memsys.UncachedRead {
+		c.Stats.Loads += n
+	} else {
+		c.Stats.Stores += n
+	}
+}
+
 // The typed accessors perform a functional load/store on the backing store
 // and charge its timing through the cache hierarchy.
 
@@ -222,6 +252,127 @@ func (c *CPU) ReadBlock(addr uint64, p []byte) {
 func (c *CPU) WriteBlock(addr uint64, p []byte) {
 	c.access(addr, uint64(len(p)), memsys.Write)
 	c.store.Write(addr, p)
+}
+
+// The typed slice accessors issue one timed access per element — exactly
+// like a hand-written load/store loop — but batch the timing through
+// AccessElems and move the bytes in one pass. Use them where the algorithm
+// genuinely streams over consecutive elements; keep explicit loops where
+// access interleaving matters.
+
+// LoadU8Slice loads len(dst) consecutive bytes, one timed load each.
+func (c *CPU) LoadU8Slice(addr uint64, dst []uint8) {
+	if c.ForceScalar {
+		for i := range dst {
+			dst[i] = c.LoadU8(addr + uint64(i))
+		}
+		return
+	}
+	c.bulkAccess(addr, 1, uint64(len(dst)), memsys.Read)
+	c.store.Read(addr, dst)
+}
+
+// StoreU8Slice stores src as consecutive bytes, one timed store each.
+func (c *CPU) StoreU8Slice(addr uint64, src []uint8) {
+	if c.ForceScalar {
+		for i, v := range src {
+			c.StoreU8(addr+uint64(i), v)
+		}
+		return
+	}
+	c.bulkAccess(addr, 1, uint64(len(src)), memsys.Write)
+	c.store.Write(addr, src)
+}
+
+// LoadU16Slice loads len(dst) consecutive 16-bit values, one timed load
+// each.
+func (c *CPU) LoadU16Slice(addr uint64, dst []uint16) {
+	if c.ForceScalar {
+		for i := range dst {
+			dst[i] = c.LoadU16(addr + uint64(i)*2)
+		}
+		return
+	}
+	c.bulkAccess(addr, 2, uint64(len(dst)), memsys.Read)
+	c.store.ReadU16Slice(addr, dst)
+}
+
+// StoreU16Slice stores src as consecutive 16-bit values, one timed store
+// each.
+func (c *CPU) StoreU16Slice(addr uint64, src []uint16) {
+	if c.ForceScalar {
+		for i, v := range src {
+			c.StoreU16(addr+uint64(i)*2, v)
+		}
+		return
+	}
+	c.bulkAccess(addr, 2, uint64(len(src)), memsys.Write)
+	c.store.WriteU16Slice(addr, src)
+}
+
+// LoadU32Slice loads len(dst) consecutive 32-bit values, one timed load
+// each.
+func (c *CPU) LoadU32Slice(addr uint64, dst []uint32) {
+	if c.ForceScalar {
+		for i := range dst {
+			dst[i] = c.LoadU32(addr + uint64(i)*4)
+		}
+		return
+	}
+	c.bulkAccess(addr, 4, uint64(len(dst)), memsys.Read)
+	c.store.ReadU32Slice(addr, dst)
+}
+
+// StoreU32Slice stores src as consecutive 32-bit values, one timed store
+// each.
+func (c *CPU) StoreU32Slice(addr uint64, src []uint32) {
+	if c.ForceScalar {
+		for i, v := range src {
+			c.StoreU32(addr+uint64(i)*4, v)
+		}
+		return
+	}
+	c.bulkAccess(addr, 4, uint64(len(src)), memsys.Write)
+	c.store.WriteU32Slice(addr, src)
+}
+
+// LoadU64Slice loads len(dst) consecutive 64-bit values, one timed load
+// each.
+func (c *CPU) LoadU64Slice(addr uint64, dst []uint64) {
+	if c.ForceScalar {
+		for i := range dst {
+			dst[i] = c.LoadU64(addr + uint64(i)*8)
+		}
+		return
+	}
+	c.bulkAccess(addr, 8, uint64(len(dst)), memsys.Read)
+	c.store.ReadU64Slice(addr, dst)
+}
+
+// StoreU64Slice stores src as consecutive 64-bit values, one timed store
+// each.
+func (c *CPU) StoreU64Slice(addr uint64, src []uint64) {
+	if c.ForceScalar {
+		for i, v := range src {
+			c.StoreU64(addr+uint64(i)*8, v)
+		}
+		return
+	}
+	c.bulkAccess(addr, 8, uint64(len(src)), memsys.Write)
+	c.store.WriteU64Slice(addr, src)
+}
+
+// ReadBlockU32 loads a block of 32-bit values charged as one block read
+// (like ReadBlock: a single multi-line access) and decoded in one pass.
+func (c *CPU) ReadBlockU32(addr uint64, dst []uint32) {
+	c.access(addr, uint64(len(dst))*4, memsys.Read)
+	c.store.ReadU32Slice(addr, dst)
+}
+
+// WriteBlockU32 stores a block of 32-bit values charged as one block write.
+func (c *CPU) WriteBlockU32(addr uint64, src []uint32) {
+	c.access(addr, uint64(len(src))*4, memsys.Write)
+	c.store.WriteU32Slice(addr, src)
 }
 
 // UncachedLoadU32 reads a word around the caches — an Active-Page

@@ -173,20 +173,32 @@ func (im *Image) At(x, y int) uint16 {
 }
 
 // MedianReference computes the 3x3 median filter directly, as the checkable
-// answer for both simulated implementations.
+// answer for both simulated implementations. Interior pixels take a
+// clamp-free path; only the one-pixel border goes through At.
 func (im *Image) MedianReference() *Image {
 	out := &Image{W: im.W, H: im.H, Pix: make([]uint16, im.W*im.H)}
+	w := im.W
 	var win [9]uint16
 	for y := 0; y < im.H; y++ {
-		for x := 0; x < im.W; x++ {
-			k := 0
-			for dy := -1; dy <= 1; dy++ {
-				for dx := -1; dx <= 1; dx++ {
-					win[k] = im.At(x+dx, y+dy)
-					k++
+		interiorRow := y > 0 && y < im.H-1
+		for x := 0; x < w; x++ {
+			if interiorRow && x > 0 && x < w-1 {
+				i := y*w + x
+				win = [9]uint16{
+					im.Pix[i-w-1], im.Pix[i-w], im.Pix[i-w+1],
+					im.Pix[i-1], im.Pix[i], im.Pix[i+1],
+					im.Pix[i+w-1], im.Pix[i+w], im.Pix[i+w+1],
+				}
+			} else {
+				k := 0
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						win[k] = im.At(x+dx, y+dy)
+						k++
+					}
 				}
 			}
-			out.Pix[y*im.W+x] = Median9(win)
+			out.Pix[y*w+x] = Median9(win)
 		}
 	}
 	return out
@@ -195,33 +207,67 @@ func (im *Image) MedianReference() *Image {
 // Median9 returns the median of nine values using a fixed comparison
 // network (19 compare-exchange steps), the same network the RADram circuit
 // implements and close to the minimal hand-coded comparison sequence the
-// paper's conventional implementation uses.
+// paper's conventional implementation uses. The exchanges are written out
+// inline so the whole network stays in registers.
 func Median9(v [9]uint16) uint16 {
-	cx := func(i, j int) {
-		if v[i] > v[j] {
-			v[i], v[j] = v[j], v[i]
-		}
-	}
 	// Paeth's 19-exchange median-of-9 network.
-	cx(1, 2)
-	cx(4, 5)
-	cx(7, 8)
-	cx(0, 1)
-	cx(3, 4)
-	cx(6, 7)
-	cx(1, 2)
-	cx(4, 5)
-	cx(7, 8)
-	cx(0, 3)
-	cx(5, 8)
-	cx(4, 7)
-	cx(3, 6)
-	cx(1, 4)
-	cx(2, 5)
-	cx(4, 7)
-	cx(4, 2)
-	cx(6, 4)
-	cx(4, 2)
+	if v[1] > v[2] {
+		v[1], v[2] = v[2], v[1]
+	}
+	if v[4] > v[5] {
+		v[4], v[5] = v[5], v[4]
+	}
+	if v[7] > v[8] {
+		v[7], v[8] = v[8], v[7]
+	}
+	if v[0] > v[1] {
+		v[0], v[1] = v[1], v[0]
+	}
+	if v[3] > v[4] {
+		v[3], v[4] = v[4], v[3]
+	}
+	if v[6] > v[7] {
+		v[6], v[7] = v[7], v[6]
+	}
+	if v[1] > v[2] {
+		v[1], v[2] = v[2], v[1]
+	}
+	if v[4] > v[5] {
+		v[4], v[5] = v[5], v[4]
+	}
+	if v[7] > v[8] {
+		v[7], v[8] = v[8], v[7]
+	}
+	if v[0] > v[3] {
+		v[0], v[3] = v[3], v[0]
+	}
+	if v[5] > v[8] {
+		v[5], v[8] = v[8], v[5]
+	}
+	if v[4] > v[7] {
+		v[4], v[7] = v[7], v[4]
+	}
+	if v[3] > v[6] {
+		v[3], v[6] = v[6], v[3]
+	}
+	if v[1] > v[4] {
+		v[1], v[4] = v[4], v[1]
+	}
+	if v[2] > v[5] {
+		v[2], v[5] = v[5], v[2]
+	}
+	if v[4] > v[7] {
+		v[4], v[7] = v[7], v[4]
+	}
+	if v[4] > v[2] {
+		v[4], v[2] = v[2], v[4]
+	}
+	if v[6] > v[4] {
+		v[6], v[4] = v[4], v[6]
+	}
+	if v[4] > v[2] {
+		v[4], v[2] = v[2], v[4]
+	}
 	return v[4]
 }
 
