@@ -8,15 +8,26 @@
 //	apbench -experiment fig3 [-quick] [-pagebytes 65536] [-jobs 8]
 //	apbench -experiment table4 -json
 //	apbench -experiment ablations
+//	apbench -experiment array -quick -json -report
+//	apbench -experiment all -quick -trace out.json
 //
 // Experiments: table1 table2 table3 table4 crossover fig3 fig4 fig5 fig8
-// fig9 smp ablations all.
+// fig9 smp ablations all — or any single benchmark name (array, database,
+// median-kernel, median-total, dynamic-prog, matrix-simplex, matrix-boeing,
+// mpeg-mmx), which sweeps that benchmark alone over the problem-size axis.
 //
 // Every experiment is a grid of independent simulations executed across
 // -jobs worker goroutines (default: one per CPU); the merged output is
 // byte-identical to a serial run. -json appends one machine-readable
 // metrics snapshot — every machine component's counters summed over all
 // simulations of the invocation — after the human-readable tables.
+// -report appends a bottleneck attribution report: per-benchmark phase
+// breakdown (compute / memory stall / Active-Page wait / mediation, plus
+// bus and logic occupancy) and latency-histogram quantiles. -trace runs
+// one extra traced simulation pair — it contributes nothing to the tables,
+// metrics, or report, so all other output is byte-identical with or
+// without it — and writes a Chrome trace_event JSON file loadable in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing.
 package main
 
 import (
@@ -28,14 +39,26 @@ import (
 	"runtime/pprof"
 
 	"activepages/internal/experiments"
+	"activepages/internal/obs"
 	"activepages/internal/radram"
+	"activepages/internal/report"
 	"activepages/internal/run"
 	"activepages/internal/tabler"
 )
 
 func main() {
+	if err := realMain(); err != nil {
+		fmt.Fprintln(os.Stderr, "apbench:", err)
+		os.Exit(1)
+	}
+}
+
+// realMain carries the whole run so its defers — CPU/heap profile flushes
+// — execute on every exit path, including errors; main translates the
+// error into the process exit code after they have run.
+func realMain() error {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run")
+		experiment = flag.String("experiment", "all", "which experiment or benchmark to run")
 		quick      = flag.Bool("quick", false, "use a short problem-size axis")
 		pageBytes  = flag.Uint64("pagebytes", experiments.ScaledPageBytes,
 			"superpage size (512KiB = paper reference; smaller = scaled mode)")
@@ -44,6 +67,10 @@ func main() {
 		csvDir     = flag.String("csv", "", "also write each figure as CSV into this directory")
 		jobs       = flag.Int("jobs", runtime.NumCPU(), "simulation worker-pool width")
 		jsonOut    = flag.Bool("json", false, "append a merged metrics snapshot as JSON")
+		reportOut  = flag.Bool("report", false, "append a bottleneck attribution report")
+		traceFile  = flag.String("trace", "", "write a Chrome trace of one traced run to this file")
+		traceBench = flag.String("tracebench", "database", "with -trace: benchmark to trace")
+		tracePages = flag.Float64("tracepages", 2, "with -trace: problem size in pages")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -52,13 +79,11 @@ func main() {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "apbench:", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "apbench:", err)
-			os.Exit(1)
+			return err
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -67,13 +92,12 @@ func main() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "apbench:", err)
-				os.Exit(1)
+				return
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintln(os.Stderr, "apbench:", err)
-				os.Exit(1)
 			}
 		}()
 	}
@@ -85,21 +109,74 @@ func main() {
 	}
 
 	r := &run.Runner{Jobs: *jobs}
-	if *jsonOut {
+	if *jsonOut || *reportOut {
 		r.WithMetrics()
 	}
 	if err := runExperiment(r, *experiment, cfg, points, *regions, *l2, *csvDir); err != nil {
-		fmt.Fprintln(os.Stderr, "apbench:", err)
-		os.Exit(1)
+		return err
+	}
+	if *reportOut {
+		fmt.Printf("\n##### report #####\n")
+		report.FromGroups(r.Metrics.Groups()).WriteTo(os.Stdout)
 	}
 	if *jsonOut {
 		j, err := r.Metrics.Snapshot().JSON()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "apbench:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("\n##### metrics (json) #####\n%s\n", j)
+		fmt.Printf("\n%s\n%s\n", report.MetricsMarker, j)
 	}
+	if *traceFile != "" {
+		if err := writeTrace(*traceFile, *traceBench, cfg, *tracePages); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTrace runs one dedicated conventional/RADram pair of the named
+// benchmark with simulated-time tracing enabled and exports the combined
+// trace as Chrome trace_event JSON. The traced pair is separate from the
+// experiment's machines and feeds no metrics collector, so enabling
+// -trace changes nothing else about the invocation's output.
+func writeTrace(path, bench string, cfg radram.Config, pages float64) error {
+	b, err := experiments.BenchmarkByName(bench)
+	if err != nil {
+		return err
+	}
+	conv, rad, err := run.NewPair(cfg)
+	if err != nil {
+		return err
+	}
+	convTr := obs.NewTracer(0)
+	convTr.SetProcess(1, "conventional")
+	radTr := obs.NewTracer(0)
+	radTr.SetProcess(2, "radram")
+	conv.EnableTracing(convTr)
+	rad.EnableTracing(radTr)
+	if err := b.Run(conv.Machine, pages); err != nil {
+		return err
+	}
+	if err := b.Run(rad.Machine, pages); err != nil {
+		return err
+	}
+	conv.FlushTrace()
+	rad.FlushTrace()
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChrome(f, convTr, radTr); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "apbench: wrote %d trace events (%d dropped) to %s\n",
+		convTr.Len()+radTr.Len(), convTr.Dropped()+radTr.Dropped(), path)
+	return nil
 }
 
 // writeCSV saves a figure to dir/name.csv when dir is set, creating the
@@ -243,7 +320,21 @@ func runExperiment(r *run.Runner, experiment string, cfg radram.Config, points [
 			}
 		}
 	default:
-		return fmt.Errorf("unknown experiment %q", experiment)
+		// Any benchmark name is an experiment: sweep that benchmark alone
+		// over the problem-size axis.
+		b, berr := experiments.BenchmarkByName(experiment)
+		if berr != nil {
+			return fmt.Errorf("unknown experiment %q", experiment)
+		}
+		s, err := experiments.RunSweep(r, b, cfg, points)
+		if err != nil {
+			return err
+		}
+		f := experiments.Figure3([]*experiments.Sweep{s})
+		f.WriteTo(out)
+		if err := writeCSV(csvDir, experiment, f); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,61 @@
+// Command apreport renders and compares apbench metrics snapshots.
+//
+// Usage:
+//
+//	apbench -experiment array -quick -json > run.txt
+//	apreport run.txt                  # bottleneck attribution of one run
+//	apreport old.txt new.txt          # per-metric diff of two runs
+//	apreport -all old.txt new.txt     # include unchanged metrics
+//
+// Each input may be either a raw metrics-snapshot JSON object or full
+// apbench stdout (apreport finds the JSON after the "##### metrics (json)
+// #####" marker). With one input it prints the phase breakdown and latency
+// histograms of that run; with two it prints every metric whose value
+// changed between them. A file that cannot be parsed is a hard error, so
+// CI can use apreport as a round-trip check on apbench's JSON output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"activepages/internal/obs"
+	"activepages/internal/report"
+)
+
+func main() {
+	if err := realMain(); err != nil {
+		fmt.Fprintln(os.Stderr, "apreport:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain() error {
+	all := flag.Bool("all", false, "with two files: include unchanged metrics in the diff")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) < 1 || len(args) > 2 {
+		return fmt.Errorf("usage: apreport [-all] metrics-file [metrics-file]")
+	}
+	snaps := make([]obs.Snapshot, len(args))
+	for i, path := range args {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if snaps[i], err = report.ParseMetrics(data); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+
+	if len(snaps) == 1 {
+		// A single apbench snapshot is one big group: attribute it whole.
+		r := report.FromGroups(map[string]obs.Snapshot{args[0]: snaps[0]})
+		_, err := r.WriteTo(os.Stdout)
+		return err
+	}
+	_, err := report.Diff(snaps[0], snaps[1], !*all).WriteTo(os.Stdout)
+	return err
+}

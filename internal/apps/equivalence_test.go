@@ -18,8 +18,9 @@ import (
 
 // measureMode is apps.Measure with every fast path switched off when
 // reference is set: the CPUs issue one scalar access per element and the
-// hierarchies probe every line through the full chain.
-func measureMode(t *testing.T, b apps.Benchmark, cfg radram.Config, pages float64, reference bool) (apps.Measurement, obs.Snapshot) {
+// hierarchies probe every line through the full chain. A non-nil tr
+// additionally wires simulated-time tracing through both machines.
+func measureMode(t *testing.T, b apps.Benchmark, cfg radram.Config, pages float64, reference bool, tr *obs.Tracer) (apps.Measurement, obs.Snapshot) {
 	t.Helper()
 	conv, rad, err := run.NewPair(cfg)
 	if err != nil {
@@ -28,6 +29,9 @@ func measureMode(t *testing.T, b apps.Benchmark, cfg radram.Config, pages float6
 	for _, m := range []*run.Machine{conv, rad} {
 		m.CPU.ForceScalar = reference
 		m.Hier.Reference = reference
+		if tr != nil {
+			m.EnableTracing(tr)
+		}
 	}
 	if err := b.Run(conv.Machine, pages); err != nil {
 		t.Fatalf("%s (conventional, ref=%v): %v", b.Name(), reference, err)
@@ -67,8 +71,8 @@ func TestGoldenEquivalence(t *testing.T) {
 		t.Run(b.Name(), func(t *testing.T) {
 			t.Parallel()
 			const pages = 2
-			fastM, fastS := measureMode(t, b, cfg, pages, false)
-			refM, refS := measureMode(t, b, cfg, pages, true)
+			fastM, fastS := measureMode(t, b, cfg, pages, false, nil)
+			refM, refS := measureMode(t, b, cfg, pages, true, nil)
 			if fastM != refM {
 				t.Errorf("measurement diverged:\n fast %+v\n  ref %+v", fastM, refM)
 			}
@@ -83,6 +87,30 @@ func TestGoldenEquivalence(t *testing.T) {
 						t.Errorf("counter %s only present in fast snapshot", name)
 					}
 				}
+			}
+
+			// Tracing must be pure observation: a traced run's measurement
+			// and complete counter snapshot are byte-identical to the
+			// untraced run's, while the tracer actually captured events.
+			tr := obs.NewTracer(1 << 16)
+			tracedM, tracedS := measureMode(t, b, cfg, pages, false, tr)
+			if tracedM != fastM {
+				t.Errorf("tracing changed measurement:\n traced %+v\n untraced %+v", tracedM, fastM)
+			}
+			if !maps.Equal(tracedS, fastS) {
+				for _, name := range fastS.Names() {
+					if tracedS[name] != fastS[name] {
+						t.Errorf("tracing changed counter %s: %d, want %d", name, tracedS[name], fastS[name])
+					}
+				}
+				for _, name := range tracedS.Names() {
+					if _, ok := fastS[name]; !ok {
+						t.Errorf("counter %s only present in traced snapshot", name)
+					}
+				}
+			}
+			if tr.Len() == 0 {
+				t.Error("traced run captured no events")
 			}
 		})
 	}

@@ -37,6 +37,13 @@ type Stats struct {
 type Bus struct {
 	cfg   Config
 	Stats Stats
+	// hist records the duration of every transfer (registered as
+	// "<prefix>.transfer" by Observe).
+	hist *obs.Histogram
+	// OnTransfer, when set, is invoked after every transfer with the bytes
+	// moved and the transfer time — the tracing hook. It must be nil when
+	// tracing is off so the transfer path pays only a nil check.
+	OnTransfer func(bytes uint64, d sim.Duration)
 }
 
 // New returns a bus with the given configuration.
@@ -47,7 +54,7 @@ func New(cfg Config) *Bus {
 	if cfg.BeatTime == 0 {
 		cfg.BeatTime = 10 * sim.Nanosecond
 	}
-	return &Bus{cfg: cfg}
+	return &Bus{cfg: cfg, hist: obs.NewHistogram()}
 }
 
 // Config returns the bus configuration.
@@ -58,6 +65,7 @@ func (b *Bus) Observe(r *obs.Registry, prefix string) {
 	r.Counter(prefix+".transfers", func() uint64 { return b.Stats.Transfers })
 	r.Counter(prefix+".bytes", func() uint64 { return b.Stats.Bytes })
 	r.Timer(prefix+".busy", func() sim.Duration { return b.Stats.BusyTime })
+	r.Histogram(prefix+".transfer", b.hist)
 }
 
 // TransferTime returns the time to move n bytes across the bus, rounded up
@@ -71,6 +79,10 @@ func (b *Bus) TransferTime(n uint64) sim.Duration {
 	b.Stats.Transfers++
 	b.Stats.Bytes += n
 	b.Stats.BusyTime += d
+	b.hist.Observe(d)
+	if b.OnTransfer != nil {
+		b.OnTransfer(n, d)
+	}
 	return d
 }
 

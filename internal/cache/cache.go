@@ -91,6 +91,10 @@ type Cache struct {
 	mru   []int32
 	clock uint64 // LRU sequence source
 	Stats Stats
+	// OnMiss, when set, is invoked on every miss with the missing address —
+	// the tracing hook. It must be nil when tracing is off so the miss path
+	// pays only a nil check; the hit paths never consult it.
+	OnMiss func(addr uint64)
 }
 
 // New builds a cache from cfg. It panics on an invalid configuration;
@@ -169,6 +173,9 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 		}
 	}
 	c.Stats.Misses++
+	if c.OnMiss != nil {
+		c.OnMiss(addr)
+	}
 	// Choose a victim: an invalid way if any, else LRU.
 	victim := 0
 	for i := range ways {

@@ -174,6 +174,16 @@ type System struct {
 	// copyBuf is the reusable bounce buffer for inter-page copies.
 	copyBuf []byte
 
+	// dispatchHist records per-activation processor dispatch time (T_A);
+	// completionHist records dispatch-to-completion latency — from the
+	// first control write to the activation's results becoming visible.
+	dispatchHist   *obs.Histogram
+	completionHist *obs.Histogram
+
+	// tracer is the tracing hook, nil when tracing is off: activations
+	// become spans on the owning page's track.
+	tracer *obs.Tracer
+
 	Stats Stats
 }
 
@@ -197,16 +207,23 @@ func NewSystem(cfg Config, cpu *proc.CPU) (*System, error) {
 		return nil, err
 	}
 	return &System{
-		cfg:        cfg,
-		cpu:        cpu,
-		store:      cpu.Store(),
-		hier:       cpu.Hierarchy(),
-		geom:       geom,
-		logicClock: sim.NewClockPeriod(cpu.Clock().Period() * sim.Duration(cfg.LogicDivisor)),
-		groups:     make(map[GroupID]*Group),
-		pages:      make(map[uint64]*Page),
+		cfg:            cfg,
+		cpu:            cpu,
+		store:          cpu.Store(),
+		hier:           cpu.Hierarchy(),
+		geom:           geom,
+		logicClock:     sim.NewClockPeriod(cpu.Clock().Period() * sim.Duration(cfg.LogicDivisor)),
+		groups:         make(map[GroupID]*Group),
+		pages:          make(map[uint64]*Page),
+		dispatchHist:   obs.NewHistogram(),
+		completionHist: obs.NewHistogram(),
 	}, nil
 }
+
+// SetTracer enables simulated-time tracing of Active-Page activity: each
+// activation becomes a span on its page's track, with dispatch instants.
+// Passing nil disables it.
+func (s *System) SetTracer(tr *obs.Tracer) { s.tracer = tr }
 
 // Config returns the system configuration.
 func (s *System) Config() Config { return s.cfg }
@@ -220,6 +237,8 @@ func (s *System) Observe(r *obs.Registry, prefix string) {
 	r.Counter(prefix+".binds", func() uint64 { return s.Stats.Binds })
 	r.Timer(prefix+".logic_busy", func() sim.Duration { return s.Stats.LogicBusy })
 	r.Timer(prefix+".reconfig", func() sim.Duration { return s.Stats.ReconfigTime })
+	r.Histogram(prefix+".dispatch", s.dispatchHist)
+	r.Histogram(prefix+".to_completion", s.completionHist)
 }
 
 // CPU returns the attached processor.
@@ -368,6 +387,13 @@ func (s *System) Activate(p *Page, fnName string, args ...uint64) error {
 	p.ActivationTime += s.cpu.Now() - before
 	s.Stats.Activations++
 	s.Stats.LogicBusy += busy
+	s.dispatchHist.Observe(s.cpu.Now() - before)
+	s.completionHist.Observe(p.doneAt - before)
+	if s.tracer != nil {
+		tid := obs.TIDPageBase + int32(p.Index)
+		s.tracer.Instant(tid, "ap", "dispatch", before)
+		s.tracer.SpanArg(tid, "ap", fnName, start, busy, int64(res.LogicCycles))
+	}
 	return nil
 }
 

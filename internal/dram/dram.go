@@ -95,6 +95,13 @@ type Device struct {
 	rowShift uint
 	subMask  uint64
 	Stats    Stats
+	// hist records every access's latency (registered as "<prefix>.access"
+	// by Observe).
+	hist *obs.Histogram
+	// OnAccess, when set, is invoked after every access with whether the
+	// row was open and the access latency — the tracing hook. It must be
+	// nil when tracing is off so the access path pays only a nil check.
+	OnAccess func(rowHit bool, d sim.Duration)
 }
 
 // New builds a device. It panics on an invalid configuration.
@@ -107,6 +114,7 @@ func New(cfg Config) *Device {
 		subShift: uint(bits.TrailingZeros64(cfg.SubarrayBytes)),
 		rowShift: uint(bits.TrailingZeros64(cfg.RowBytes)),
 		subMask:  cfg.SubarrayBytes - 1,
+		hist:     obs.NewHistogram(),
 	}
 }
 
@@ -119,6 +127,7 @@ func (d *Device) Observe(r *obs.Registry, prefix string) {
 	r.Counter(prefix+".row_hits", func() uint64 { return d.Stats.RowHits })
 	r.Counter(prefix+".row_misses", func() uint64 { return d.Stats.RowMisses })
 	r.Counter(prefix+".refreshes", func() uint64 { return d.Stats.Refreshes })
+	r.Histogram(prefix+".access", d.hist)
 }
 
 // Subarray returns the subarray index containing addr.
@@ -130,13 +139,16 @@ func (d *Device) Subarray(addr uint64) uint64 { return addr >> d.subShift }
 func (d *Device) AccessTime(addr uint64) sim.Duration {
 	d.Stats.Accesses++
 	if d.cfg.AccessTime == 0 {
+		d.hist.Observe(0)
+		if d.OnAccess != nil {
+			d.OnAccess(true, 0)
+		}
 		return 0
 	}
 	sub := addr >> d.subShift
 	row := int64((addr & d.subMask) >> d.rowShift)
 	if d.haveLast && sub == d.lastSub && row == d.lastRow {
-		d.Stats.RowHits++
-		return d.cfg.RowHitTime
+		return d.rowHit()
 	}
 	d.lastSub, d.lastRow, d.haveLast = sub, row, true
 	if sub < maxDenseSubarrays {
@@ -144,8 +156,7 @@ func (d *Device) AccessTime(addr uint64) sim.Duration {
 			d.growDense(sub)
 		}
 		if d.openRow[sub] == row {
-			d.Stats.RowHits++
-			return d.cfg.RowHitTime
+			return d.rowHit()
 		}
 		d.openRow[sub] = row
 	} else {
@@ -153,13 +164,26 @@ func (d *Device) AccessTime(addr uint64) sim.Duration {
 			d.overflow = make(map[uint64]uint64)
 		}
 		if open, ok := d.overflow[sub]; ok && open == uint64(row) {
-			d.Stats.RowHits++
-			return d.cfg.RowHitTime
+			return d.rowHit()
 		}
 		d.overflow[sub] = uint64(row)
 	}
 	d.Stats.RowMisses++
+	d.hist.Observe(d.cfg.AccessTime)
+	if d.OnAccess != nil {
+		d.OnAccess(false, d.cfg.AccessTime)
+	}
 	return d.cfg.AccessTime
+}
+
+// rowHit accounts one open-row access.
+func (d *Device) rowHit() sim.Duration {
+	d.Stats.RowHits++
+	d.hist.Observe(d.cfg.RowHitTime)
+	if d.OnAccess != nil {
+		d.OnAccess(true, d.cfg.RowHitTime)
+	}
+	return d.cfg.RowHitTime
 }
 
 // growDense extends the dense open-row table to cover sub, doubling so

@@ -102,8 +102,9 @@ func (s *Sweep) NonOverlaps() []float64 {
 }
 
 // measure runs one point through apps, routing the pair's metrics
-// snapshot into the runner's collector when one is attached. It is the
-// single simulation entry point for every sweep in this package.
+// snapshot into the runner's collector — grouped by benchmark name, so a
+// bottleneck report can attribute per benchmark — when one is attached.
+// It is the single simulation entry point for every sweep in this package.
 func measure(r *run.Runner, b apps.Benchmark, cfg radram.Config, pages float64) (apps.Measurement, error) {
 	if r == nil || r.Metrics == nil {
 		return apps.Measure(b, cfg, pages)
@@ -112,7 +113,7 @@ func measure(r *run.Runner, b apps.Benchmark, cfg radram.Config, pages float64) 
 	if err != nil {
 		return m, err
 	}
-	r.Collect(snap)
+	r.CollectGroup(b.Name(), snap)
 	return m, nil
 }
 

@@ -78,17 +78,62 @@ type Hierarchy struct {
 	// full chain. Timing and statistics must be identical either way — the
 	// equivalence tests run one machine in each mode and diff everything.
 	Reference bool
+
+	// fillHist records the latency of every L1-miss fill; uncachedHist the
+	// latency of every uncached access. Both record at points the fast and
+	// reference pipelines reach identically, so snapshots stay equivalent.
+	fillHist     *obs.Histogram
+	uncachedHist *obs.Histogram
+
+	// tracer and now are the tracing hooks, nil when tracing is off. They
+	// are consulted only off the single-line hit path (miss fills and
+	// uncached accesses), so an untraced machine pays nothing and a traced
+	// one pays a nil check on paths that already walk the full chain.
+	tracer *obs.Tracer
+	now    func() sim.Time
 }
 
 // New builds the hierarchy. It panics on invalid cache configuration.
 func New(cfg Config) *Hierarchy {
 	return &Hierarchy{
-		cfg:  cfg,
-		L1I:  cache.New(cfg.L1I),
-		L1D:  cache.New(cfg.L1D),
-		L2:   cache.New(cfg.L2),
-		Bus:  bus.New(cfg.Bus),
-		DRAM: dram.New(cfg.DRAM),
+		cfg:          cfg,
+		L1I:          cache.New(cfg.L1I),
+		L1D:          cache.New(cfg.L1D),
+		L2:           cache.New(cfg.L2),
+		Bus:          bus.New(cfg.Bus),
+		DRAM:         dram.New(cfg.DRAM),
+		fillHist:     obs.NewHistogram(),
+		uncachedHist: obs.NewHistogram(),
+	}
+}
+
+// SetTracer enables simulated-time tracing: fills and uncached accesses
+// become spans on the mem track, and nil-guarded hooks are installed on
+// the caches (miss instants), bus (transfer spans), and DRAM (row hit/miss
+// spans). now supplies the current simulated time — conventionally the
+// attached processor's clock, read at the start of each access. Passing a
+// nil tracer removes every hook.
+func (h *Hierarchy) SetTracer(tr *obs.Tracer, now func() sim.Time) {
+	if tr == nil || now == nil {
+		h.tracer, h.now = nil, nil
+		h.L1I.OnMiss, h.L1D.OnMiss, h.L2.OnMiss = nil, nil, nil
+		h.Bus.OnTransfer = nil
+		h.DRAM.OnAccess = nil
+		return
+	}
+	h.tracer, h.now = tr, now
+	h.L1I.OnMiss = func(uint64) { tr.Instant(obs.TIDMem, "cache", "l1i_miss", now()) }
+	h.L1D.OnMiss = func(uint64) { tr.Instant(obs.TIDMem, "cache", "l1d_miss", now()) }
+	h.L2.OnMiss = func(uint64) { tr.Instant(obs.TIDMem, "cache", "l2_miss", now()) }
+	h.Bus.OnTransfer = func(bytes uint64, d sim.Duration) {
+		tr.SpanArg(obs.TIDBus, "bus", "transfer", now(), d, int64(bytes))
+	}
+	h.DRAM.OnAccess = func(rowHit bool, d sim.Duration) {
+		if rowHit {
+			tr.Span(obs.TIDDRAM, "dram", "row_hit", now(), d)
+		} else {
+			tr.Span(obs.TIDDRAM, "dram", "row_miss", now(), d)
+		}
 	}
 }
 
@@ -99,6 +144,8 @@ func (h *Hierarchy) Config() Config { return h.cfg }
 // level's — under prefix (conventionally "mem").
 func (h *Hierarchy) Observe(r *obs.Registry, prefix string) {
 	r.Counter(prefix+".uncached_accesses", func() uint64 { return h.UncachedAccesses })
+	r.Histogram(prefix+".fill", h.fillHist)
+	r.Histogram(prefix+".uncached", h.uncachedHist)
 	h.L1I.Observe(r, prefix+".l1i")
 	h.L1D.Observe(r, prefix+".l1d")
 	h.L2.Observe(r, prefix+".l2")
@@ -137,7 +184,12 @@ func (h *Hierarchy) AccessRange(addr uint64, size uint64, kind AccessKind) sim.D
 		// An uncached access pays the full DRAM latency plus bus time for
 		// the bytes moved. Writes are posted but still occupy the bus; the
 		// simulated processor does not continue past them (conservative).
-		return h.memoryTime(addr, size)
+		t := h.memoryTime(addr, size)
+		h.uncachedHist.Observe(t)
+		if h.tracer != nil {
+			h.tracer.Span(obs.TIDMem, "mem", "uncached", h.now(), t)
+		}
+		return t
 	}
 
 	l1 := h.L1D
@@ -183,7 +235,14 @@ func (h *Hierarchy) AccessElems(addr, elemBytes, n uint64, kind AccessKind) sim.
 		h.UncachedAccesses += n
 		var total sim.Duration
 		for i := uint64(0); i < n; i++ {
-			total += h.memoryTime(addr+i*elemBytes, elemBytes)
+			// Per-element histogram records keep the batch equivalent to n
+			// scalar AccessRange calls.
+			t := h.memoryTime(addr+i*elemBytes, elemBytes)
+			h.uncachedHist.Observe(t)
+			total += t
+		}
+		if h.tracer != nil {
+			h.tracer.SpanArg(obs.TIDMem, "mem", "uncached", h.now(), total, int64(n))
 		}
 		return total
 	}
@@ -230,8 +289,26 @@ func (h *Hierarchy) accessLine(l1 *cache.Cache, addr uint64, write bool) sim.Dur
 	if r1.Hit {
 		return t
 	}
-	// L1 miss: consult L2. The L1 victim writeback, if any, is absorbed by
-	// the L2 (both are on-chip); it costs an L2 access.
+	// L1 miss: the fill walks the lower levels. Recording the fill here —
+	// after the hit return — keeps the histogram identical between the fast
+	// and reference pipelines: both reach this point for exactly the misses.
+	t = h.fillLine(addr, t, r1)
+	h.fillHist.Observe(t)
+	if h.tracer != nil {
+		name := "fill.l1d"
+		if l1 == h.L1I {
+			name = "fill.l1i"
+		}
+		h.tracer.Span(obs.TIDMem, "mem", name, h.now(), t)
+	}
+	return t
+}
+
+// fillLine continues an L1 miss through L2 and memory, returning the total
+// access latency including the already-charged L1 probe time t.
+func (h *Hierarchy) fillLine(addr uint64, t sim.Duration, r1 cache.Result) sim.Duration {
+	// The L1 victim writeback, if any, is absorbed by the L2 (both are
+	// on-chip); it costs an L2 access.
 	if r1.Writeback {
 		t += h.cfg.L2HitTime
 		r := h.L2.Access(r1.WritebackAddr, true)

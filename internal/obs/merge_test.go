@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+	"maps"
+	"math/rand"
+	"testing"
+)
+
+func TestGaugeMaxSemantics(t *testing.T) {
+	r := New()
+	r.Gauge("elapsed", func() int64 { return 70 })
+	r.Gauge("elapsed", func() int64 { return 90 }) // duplicate: max, not sum
+	r.Counter("ops", func() uint64 { return 5 })
+	s := r.Snapshot()
+	if s["elapsed_max"] != 90 {
+		t.Errorf("duplicate gauges = %d, want max 90", s["elapsed_max"])
+	}
+	if _, ok := s["elapsed"]; ok {
+		t.Error("gauge leaked an unsuffixed key")
+	}
+
+	a := Snapshot{"elapsed_max": 100, "ops": 1}
+	b := Snapshot{"elapsed_max": 40, "ops": 2}
+	a.Merge(b)
+	if a["elapsed_max"] != 100 {
+		t.Errorf("gauge merge = %d, want max 100", a["elapsed_max"])
+	}
+	if a["ops"] != 3 {
+		t.Errorf("counter merge = %d, want sum 3", a["ops"])
+	}
+}
+
+// randomSnapshot builds a snapshot mixing every merge class: counters,
+// timers, gauges, and histogram bucket keys.
+func randomSnapshot(rng *rand.Rand) Snapshot {
+	s := Snapshot{}
+	for i := 0; i < rng.Intn(8); i++ {
+		s[fmt.Sprintf("c%d", rng.Intn(5))] = rng.Int63n(1000)
+	}
+	for i := 0; i < rng.Intn(4); i++ {
+		s[fmt.Sprintf("t%d_ns", rng.Intn(3))] = rng.Int63n(1000)
+	}
+	for i := 0; i < rng.Intn(4); i++ {
+		s[fmt.Sprintf("g%d_max", rng.Intn(3))] = rng.Int63n(1000)
+	}
+	for i := 0; i < rng.Intn(4); i++ {
+		s[fmt.Sprintf("lat.h.b%02d", rng.Intn(12))] = rng.Int63n(1000)
+	}
+	return s
+}
+
+// clone copies a snapshot so Merge's receiver mutation stays local.
+func clone(s Snapshot) Snapshot {
+	out := make(Snapshot, len(s))
+	maps.Copy(out, s)
+	return out
+}
+
+// TestMergeAssociativeCommutative is the property the worker pool relies
+// on: whatever grouping and order the scheduler merges run snapshots in,
+// the sweep totals are identical. Exercised over randomized snapshots
+// containing every merge class.
+func TestMergeAssociativeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := randomSnapshot(rng), randomSnapshot(rng), randomSnapshot(rng)
+
+		ab := clone(a).Merge(b)
+		ba := clone(b).Merge(a)
+		if !maps.Equal(ab, ba) {
+			t.Fatalf("trial %d: merge not commutative:\n a=%v\n b=%v\n ab=%v\n ba=%v",
+				trial, a, b, ab, ba)
+		}
+
+		abThenC := clone(ab).Merge(c)
+		bcThenA := clone(a).Merge(clone(b).Merge(c))
+		if !maps.Equal(abThenC, bcThenA) {
+			t.Fatalf("trial %d: merge not associative:\n a=%v\n b=%v\n c=%v\n (a+b)+c=%v\n a+(b+c)=%v",
+				trial, a, b, c, abThenC, bcThenA)
+		}
+	}
+}

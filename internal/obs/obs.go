@@ -1,25 +1,47 @@
 // Package obs is the simulator's unified observability layer: a registry
-// of named counters and timers that every component of a machine — caches,
-// bus, DRAM, memory hierarchy, processor, Active-Page system — registers
-// into when the machine is wired up.
+// of named counters, timers, gauges, and histograms that every component
+// of a machine — caches, bus, DRAM, memory hierarchy, processor,
+// Active-Page system — registers into when the machine is wired up, plus
+// a ring-buffered simulated-time trace sink (Tracer).
 //
 // The registry is pull-based: components register closures over the
 // counters they already maintain, so registration costs a few appends at
 // construction time and the simulation hot path pays nothing. A nil
 // *Registry is the no-op default — every method is nil-safe — so code that
-// does not care about metrics never constructs one.
+// does not care about metrics never constructs one. The same contract
+// holds for *Tracer and *Histogram: nil receivers ignore every emission.
 //
 // A Snapshot is a point-in-time reading of a registry: a flat map from
-// metric name to integral value (counters are raw counts, timers are
-// nanoseconds under a "_ns"-suffixed name). Snapshots from independent
-// runs merge by summation, which is what makes one machine-readable
-// metrics document per sweep possible even when the sweep ran across a
-// worker pool.
+// metric name to integral value. Snapshots from independent runs merge
+// into sweep-level documents, which is what makes one machine-readable
+// metrics file per sweep possible even when the sweep ran across a worker
+// pool.
+//
+// # Merge rules
+//
+// Merge semantics are encoded in the metric name, so merging needs no
+// side table and stays associative and commutative:
+//
+//   - Counters (raw counts) and timers (accumulated simulated durations,
+//     registered under name+"_ns") merge by summation. Summing timers is
+//     correct because they are per-run accumulations of simulated time,
+//     not wall-clock readings.
+//   - Gauges (point-in-time level readings, registered under name+"_max")
+//     merge by maximum. Wall-style quantities — a machine's elapsed time,
+//     a high-water mark — must be gauges: summing them across a sweep's
+//     workers would double-count.
+//   - Histogram buckets (registered under name+".h.bNN" with ".h.count"
+//     and ".h.sum_ns") are counts and merge by summation, which merges
+//     the histograms exactly.
+//
+// Values absent from a snapshot are treated as zero under both rules, so
+// gauges are assumed non-negative.
 package obs
 
 import (
 	"encoding/json"
 	"sort"
+	"strings"
 
 	"activepages/internal/sim"
 )
@@ -30,10 +52,17 @@ type metric struct {
 	read func() int64
 }
 
+// histEntry is one registered histogram.
+type histEntry struct {
+	name string
+	h    *Histogram
+}
+
 // Registry collects metric registrations for one machine instance.
 // The zero value is ready to use; a nil *Registry is a valid no-op.
 type Registry struct {
 	metrics []metric
+	hists   []histEntry
 }
 
 // New returns an empty registry.
@@ -59,36 +88,78 @@ func (r *Registry) Timer(name string, read func() sim.Duration) {
 		func() int64 { return int64(read() / sim.Nanosecond) }})
 }
 
+// Gauge registers a point-in-time level reading — a wall-style quantity
+// like elapsed simulated time or a high-water mark. It is recorded in the
+// snapshot under name + "_max", which selects max-merge semantics (see the
+// package comment); gauges are assumed non-negative. A nil registry
+// ignores the registration.
+func (r *Registry) Gauge(name string, read func() int64) {
+	if r == nil {
+		return
+	}
+	key := name + GaugeSuffix
+	r.metrics = append(r.metrics, metric{key, read})
+}
+
+// Histogram registers a latency histogram. Its buckets fold into the
+// snapshot under name + ".h.*" keys (see the package comment); merging
+// snapshots merges the histograms exactly. A nil registry — or a nil
+// histogram — ignores the registration.
+func (r *Registry) Histogram(name string, h *Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	r.hists = append(r.hists, histEntry{name, h})
+}
+
 // Len reports how many metrics are registered. A nil registry has none.
 func (r *Registry) Len() int {
 	if r == nil {
 		return 0
 	}
-	return len(r.metrics)
+	return len(r.metrics) + len(r.hists)
 }
 
-// Snapshot reads every registered metric. Metrics registered under the
-// same name are summed. A nil registry yields an empty snapshot.
+// Snapshot reads every registered metric. Sum-merged metrics registered
+// under the same name are summed; gauges registered under the same name
+// take the maximum. A nil registry yields an empty snapshot.
 func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
 	}
 	s := make(Snapshot, len(r.metrics))
 	for _, m := range r.metrics {
-		s[m.name] += m.read()
+		if v := m.read(); strings.HasSuffix(m.name, GaugeSuffix) {
+			s[m.name] = max(s[m.name], v)
+		} else {
+			s[m.name] += v
+		}
+	}
+	for _, e := range r.hists {
+		e.h.fold(s, e.name)
 	}
 	return s
 }
 
+// GaugeSuffix marks a metric name as a gauge: keys ending in it merge by
+// maximum instead of summation.
+const GaugeSuffix = "_max"
+
 // Snapshot is a point-in-time reading: metric name to value (counts, or
-// nanoseconds for timers).
+// nanoseconds for timers, or bucket counts for histograms).
 type Snapshot map[string]int64
 
-// Merge adds every value of o into s and returns s. Merging run snapshots
-// by summation gives sweep-level totals.
+// Merge folds every value of o into s and returns s: "_max" (gauge) keys
+// merge by maximum, everything else by summation (the package comment's
+// merge rules). Both rules are associative and commutative, so merging
+// run snapshots in any grouping or order gives the same sweep totals.
 func (s Snapshot) Merge(o Snapshot) Snapshot {
 	for k, v := range o {
-		s[k] += v
+		if strings.HasSuffix(k, GaugeSuffix) {
+			s[k] = max(s[k], v)
+		} else {
+			s[k] += v
+		}
 	}
 	return s
 }

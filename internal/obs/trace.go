@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"activepages/internal/sim"
+)
+
+// Track identifiers: every trace event lands on one of a small set of
+// per-machine tracks ("threads" in the Chrome trace model). The machine
+// wiring (radram.Machine.EnableTracing) follows these conventions, and the
+// Chrome exporter names the tracks from them.
+const (
+	// TIDCPU is the processor timeline: compute intervals, Active-Page
+	// waits, mediation service, dispatches.
+	TIDCPU int32 = 0
+	// TIDMem is the memory-hierarchy timeline: L1-miss fills and uncached
+	// accesses, with cache-miss instants.
+	TIDMem int32 = 1
+	// TIDBus is the memory-bus timeline: one span per transfer.
+	TIDBus int32 = 2
+	// TIDDRAM is the DRAM-device timeline: row hit/miss access spans.
+	TIDDRAM int32 = 3
+	// TIDPageBase + page index is an Active Page's logic timeline: one span
+	// per activation, from dispatch completion to results visible.
+	TIDPageBase int32 = 100
+)
+
+// Trace event phases (a subset of the Chrome trace_event phases).
+const (
+	// PhaseSpan is a complete event with a start and a duration ("X").
+	PhaseSpan byte = 'X'
+	// PhaseInstant is a point event ("i").
+	PhaseInstant byte = 'i'
+)
+
+// TraceEvent is one recorded simulated-time event.
+type TraceEvent struct {
+	Name  string
+	Cat   string
+	Ph    byte
+	TID   int32
+	Start sim.Time
+	Dur   sim.Duration
+	// Arg is an optional numeric argument (bytes moved, page index, ...),
+	// emitted only when HasArg is set.
+	Arg    int64
+	HasArg bool
+}
+
+// Tracer is a low-overhead simulated-time trace sink: a fixed-capacity ring
+// buffer of events that keeps the most recent writes once full. Components
+// emit into it through nil-guarded hooks installed at wiring time, so a
+// machine built without tracing pays nothing — a nil *Tracer ignores every
+// emission, mirroring the Registry's nil-safety contract.
+//
+// The buffer is preallocated and event names are static strings, so
+// emission never allocates; the simulation's timing and statistics are
+// never read or written by the tracer, so a traced run is observationally
+// identical to an untraced one.
+type Tracer struct {
+	buf []TraceEvent
+	n   uint64 // events ever emitted; buf[n % cap] is the next slot
+	pid int64
+	// procName labels this tracer's machine in multi-machine trace files.
+	procName string
+}
+
+// DefaultTraceEvents is the default ring capacity: enough to hold the tail
+// of any benchmark at quick scale without unbounded memory.
+const DefaultTraceEvents = 1 << 20
+
+// NewTracer returns a tracer retaining at most capacity events; capacity
+// values < 1 use DefaultTraceEvents.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = DefaultTraceEvents
+	}
+	return &Tracer{buf: make([]TraceEvent, capacity), pid: 1}
+}
+
+// SetProcess labels the tracer's events with a process id and name, so
+// several machines' tracers can share one trace file (e.g. conventional
+// pid 1, RADram pid 2). A nil tracer ignores it.
+func (t *Tracer) SetProcess(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.pid = int64(pid)
+	t.procName = name
+}
+
+// Span records a complete event of duration dur starting at start. A nil
+// tracer ignores it.
+func (t *Tracer) Span(tid int32, cat, name string, start sim.Time, dur sim.Duration) {
+	if t == nil {
+		return
+	}
+	t.emit(TraceEvent{Name: name, Cat: cat, Ph: PhaseSpan, TID: tid, Start: start, Dur: dur})
+}
+
+// SpanArg is Span with a numeric argument attached.
+func (t *Tracer) SpanArg(tid int32, cat, name string, start sim.Time, dur sim.Duration, arg int64) {
+	if t == nil {
+		return
+	}
+	t.emit(TraceEvent{Name: name, Cat: cat, Ph: PhaseSpan, TID: tid, Start: start, Dur: dur, Arg: arg, HasArg: true})
+}
+
+// Instant records a point event at time at. A nil tracer ignores it.
+func (t *Tracer) Instant(tid int32, cat, name string, at sim.Time) {
+	if t == nil {
+		return
+	}
+	t.emit(TraceEvent{Name: name, Cat: cat, Ph: PhaseInstant, TID: tid, Start: at})
+}
+
+func (t *Tracer) emit(ev TraceEvent) {
+	t.buf[t.n%uint64(len(t.buf))] = ev
+	t.n++
+}
+
+// Len reports how many events are retained (at most the capacity).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return int(min(t.n, uint64(len(t.buf))))
+}
+
+// Dropped reports how many events the ring has overwritten.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil || t.n <= uint64(len(t.buf)) {
+		return 0
+	}
+	return t.n - uint64(len(t.buf))
+}
+
+// Events returns the retained events in emission order (oldest first). The
+// returned slice is freshly allocated; a nil tracer yields none.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	k := uint64(len(t.buf))
+	if t.n <= k {
+		out := make([]TraceEvent, t.n)
+		copy(out, t.buf[:t.n])
+		return out
+	}
+	out := make([]TraceEvent, k)
+	head := t.n % k // oldest retained event
+	copy(out, t.buf[head:])
+	copy(out[k-head:], t.buf[:head])
+	return out
+}
+
+// writeTS writes a picosecond time as a microsecond decimal (the Chrome
+// trace_event time unit) with exact integer arithmetic, so output is
+// deterministic across platforms.
+func writeTS(w *bufio.Writer, t sim.Time) {
+	fmt.Fprintf(w, "%d.%06d", uint64(t)/1_000_000, uint64(t)%1_000_000)
+}
+
+// trackName names the conventional tracks for the Chrome exporter.
+func trackName(tid int32) string {
+	switch tid {
+	case TIDCPU:
+		return "cpu"
+	case TIDMem:
+		return "mem"
+	case TIDBus:
+		return "bus"
+	case TIDDRAM:
+		return "dram"
+	}
+	if tid >= TIDPageBase {
+		return "page " + strconv.Itoa(int(tid-TIDPageBase))
+	}
+	return "track " + strconv.Itoa(int(tid))
+}
+
+// WriteChrome renders the tracers' retained events as one Chrome
+// trace_event JSON document (the format chrome://tracing and Perfetto
+// open directly). Each tracer becomes one process, each track one named
+// thread; events keep emission order within a tracer.
+func WriteChrome(w io.Writer, tracers ...*Tracer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[")
+	first := true
+	comma := func() {
+		if !first {
+			bw.WriteString(",\n")
+		} else {
+			bw.WriteString("\n")
+		}
+		first = false
+	}
+	for i, t := range tracers {
+		if t == nil {
+			continue
+		}
+		pid := t.pid
+		if pid == 0 {
+			pid = int64(i + 1)
+		}
+		if t.procName != "" {
+			comma()
+			fmt.Fprintf(bw, "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\",\"args\":{\"name\":%s}}",
+				pid, strconv.Quote(t.procName))
+		}
+		events := t.Events()
+		named := make(map[int32]bool)
+		for _, ev := range events {
+			if !named[ev.TID] {
+				named[ev.TID] = true
+				comma()
+				fmt.Fprintf(bw, "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}}",
+					pid, ev.TID, strconv.Quote(trackName(ev.TID)))
+			}
+			comma()
+			fmt.Fprintf(bw, "{\"name\":%s,\"cat\":%s,\"ph\":\"%c\",\"pid\":%d,\"tid\":%d,\"ts\":",
+				strconv.Quote(ev.Name), strconv.Quote(ev.Cat), ev.Ph, pid, ev.TID)
+			writeTS(bw, ev.Start)
+			if ev.Ph == PhaseSpan {
+				bw.WriteString(",\"dur\":")
+				writeTS(bw, sim.Time(ev.Dur))
+			}
+			if ev.Ph == PhaseInstant {
+				bw.WriteString(",\"s\":\"t\"")
+			}
+			if ev.HasArg {
+				fmt.Fprintf(bw, ",\"args\":{\"v\":%d}", ev.Arg)
+			}
+			bw.WriteString("}")
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}

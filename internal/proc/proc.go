@@ -86,6 +86,14 @@ type CPU struct {
 	// per element instead of batching through AccessElems. The ledger must
 	// come out identical either way; the equivalence tests flip this.
 	ForceScalar bool
+
+	// tracer is the tracing hook, nil when tracing is off; every use is
+	// behind a nil check so the untraced hot path pays one branch at most.
+	// Consecutive compute work (including the L1-hit share of accesses) is
+	// coalesced into one open span, flushed when the processor stalls.
+	tracer       *obs.Tracer
+	computeStart sim.Time
+	computeOpen  bool
 }
 
 // New builds a CPU over the hierarchy and backing store.
@@ -111,6 +119,36 @@ func (c *CPU) Store() *mem.Store { return c.store }
 // Now returns the processor's current time.
 func (c *CPU) Now() sim.Time { return c.now }
 
+// SetTracer enables simulated-time tracing on the processor track:
+// coalesced compute intervals, Active-Page waits, and mediation service.
+// Passing nil disables it.
+func (c *CPU) SetTracer(tr *obs.Tracer) {
+	c.tracer = tr
+	c.computeOpen = false
+}
+
+// markCompute opens (or extends) the running compute span at start.
+func (c *CPU) markCompute(start sim.Time) {
+	if !c.computeOpen {
+		c.computeStart = start
+		c.computeOpen = true
+	}
+}
+
+// FlushTrace emits any pending compute span up to the current time. Call
+// it when a traced run ends; it is harmless (and a no-op) otherwise.
+func (c *CPU) FlushTrace() { c.flushCompute(c.now) }
+
+// flushCompute closes the running compute span at end.
+func (c *CPU) flushCompute(end sim.Time) {
+	if c.computeOpen {
+		c.computeOpen = false
+		if end > c.computeStart {
+			c.tracer.Span(obs.TIDCPU, "proc", "compute", c.computeStart, end-c.computeStart)
+		}
+	}
+}
+
 // Observe registers the processor's time ledger and operation counts
 // under prefix (conventionally "proc").
 func (c *CPU) Observe(r *obs.Registry, prefix string) {
@@ -122,10 +160,16 @@ func (c *CPU) Observe(r *obs.Registry, prefix string) {
 	r.Counter(prefix+".loads", func() uint64 { return c.Stats.Loads })
 	r.Counter(prefix+".stores", func() uint64 { return c.Stats.Stores })
 	r.Counter(prefix+".fp_ops", func() uint64 { return c.Stats.FPOps })
+	// Elapsed time is a wall-style reading of this machine's clock, not an
+	// accumulation, so it merges across runs by max, not sum.
+	r.Gauge(prefix+".elapsed_ns", func() int64 { return int64(c.now / sim.Nanosecond) })
 }
 
 // Compute charges n instructions of busy time at one cycle each.
 func (c *CPU) Compute(n uint64) {
+	if c.tracer != nil {
+		c.markCompute(c.now)
+	}
 	d := c.clock.Cycles(n)
 	c.now += d
 	c.Stats.ComputeTime += d
@@ -135,6 +179,9 @@ func (c *CPU) Compute(n uint64) {
 // ComputeFP charges n floating-point operations (multiply-class) plus their
 // issue.
 func (c *CPU) ComputeFP(n uint64) {
+	if c.tracer != nil {
+		c.markCompute(c.now)
+	}
 	d := c.clock.Cycles(n * c.cfg.FPMulLatency)
 	c.now += d
 	c.Stats.ComputeTime += d
@@ -145,6 +192,9 @@ func (c *CPU) ComputeFP(n uint64) {
 // access charges a data access, splitting hit time into compute and the
 // remainder into memory stall.
 func (c *CPU) access(addr, size uint64, kind memsys.AccessKind) {
+	if c.tracer != nil {
+		c.markCompute(c.now)
+	}
 	t := c.hier.Access(addr, size, kind)
 	hit := c.hier.Config().L1HitTime
 	if kind == memsys.UncachedRead || kind == memsys.UncachedWrite {
@@ -152,6 +202,11 @@ func (c *CPU) access(addr, size uint64, kind memsys.AccessKind) {
 	}
 	if t < hit {
 		hit = t
+	}
+	if c.tracer != nil && t > hit {
+		// The access stalled: close the compute span at issue time; the
+		// hierarchy has emitted the matching fill/uncached span.
+		c.flushCompute(c.now)
 	}
 	c.now += t
 	c.Stats.ComputeTime += hit
@@ -173,10 +228,16 @@ func (c *CPU) bulkAccess(addr, elemBytes, n uint64, kind memsys.AccessKind) {
 	if n == 0 {
 		return
 	}
+	if c.tracer != nil {
+		c.markCompute(c.now)
+	}
 	t := c.hier.AccessElems(addr, elemBytes, n, kind)
 	var hitTotal sim.Duration
 	if kind != memsys.UncachedRead && kind != memsys.UncachedWrite {
 		hitTotal = sim.Duration(n) * c.hier.Config().L1HitTime
+	}
+	if c.tracer != nil && t > hitTotal {
+		c.flushCompute(c.now)
 	}
 	c.now += t
 	c.Stats.ComputeTime += hitTotal
@@ -407,6 +468,10 @@ func (c *CPU) UncachedWriteBlock(addr uint64, p []byte) {
 // past.
 func (c *CPU) StallUntil(t sim.Time) {
 	if t > c.now {
+		if c.tracer != nil {
+			c.flushCompute(c.now)
+			c.tracer.Span(obs.TIDCPU, "proc", "ap_wait", c.now, t-c.now)
+		}
 		c.Stats.NonOverlapTime += t - c.now
 		c.now = t
 	}
@@ -415,6 +480,10 @@ func (c *CPU) StallUntil(t sim.Time) {
 // MediationWork charges d of processor time spent servicing inter-page
 // communication on behalf of the memory system.
 func (c *CPU) MediationWork(d sim.Duration) {
+	if c.tracer != nil {
+		c.flushCompute(c.now)
+		c.tracer.Span(obs.TIDCPU, "proc", "mediation", c.now, d)
+	}
 	c.now += d
 	c.Stats.MediationTime += d
 }

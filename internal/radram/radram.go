@@ -134,6 +134,26 @@ func (m *Machine) Observe(r *obs.Registry) {
 	}
 }
 
+// EnableTracing wires a simulated-time tracer through every component of
+// the machine: processor compute/wait/mediation spans, memory-hierarchy
+// fill and uncached spans with cache-miss instants, bus transfer spans,
+// DRAM row hit/miss spans, and (on a RADram machine) one span per Active-
+// Page activation on its page's track. Passing nil removes every hook,
+// returning the machine to the zero-overhead untraced configuration.
+// Tracing never reads or writes simulation state, so a traced run's
+// timing, statistics, and results are identical to an untraced run's.
+func (m *Machine) EnableTracing(tr *obs.Tracer) {
+	m.CPU.SetTracer(tr)
+	m.Hier.SetTracer(tr, m.CPU.Now)
+	if m.AP != nil {
+		m.AP.SetTracer(tr)
+	}
+}
+
+// FlushTrace closes any span still open on the processor track. Call it
+// after a traced workload completes, before exporting the trace.
+func (m *Machine) FlushTrace() { m.CPU.FlushTrace() }
+
 // PageBytes returns the machine's superpage size.
 func (m *Machine) PageBytes() uint64 { return m.Config.AP.PageBytes }
 

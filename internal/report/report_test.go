@@ -1,0 +1,127 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"activepages/internal/obs"
+)
+
+func sampleSnapshot() obs.Snapshot {
+	return obs.Snapshot{
+		"conv.proc.compute_ns":    300,
+		"conv.proc.mem_stall_ns":  700,
+		"rad.proc.compute_ns":     400,
+		"rad.proc.mem_stall_ns":   100,
+		"rad.proc.non_overlap_ns": 200,
+		"rad.proc.mediation_ns":   300,
+		"rad.mem.bus.busy_ns":     50,
+		"rad.ap.logic_busy_ns":    500,
+		"rad.mem.fill.h.b10":      2,
+		"rad.mem.fill.h.count":    2,
+		"rad.mem.fill.h.sum_ns":   2,
+	}
+}
+
+func TestFromSnapshotPhases(t *testing.T) {
+	b := FromSnapshot("demo", sampleSnapshot())
+	if len(b.Phases) != 2 {
+		t.Fatalf("phases = %d, want conv and rad", len(b.Phases))
+	}
+	conv, rad := b.Phases[0], b.Phases[1]
+	if conv.Machine != "conv" || conv.TotalNS != 1000 || conv.ComputeNS != 300 {
+		t.Errorf("conv phase wrong: %+v", conv)
+	}
+	if rad.TotalNS != 1000 {
+		t.Errorf("rad total = %d, want 1000", rad.TotalNS)
+	}
+	// Overlap is logic busy minus the processor's Active-Page wait.
+	if rad.OverlapNS != 300 {
+		t.Errorf("rad overlap = %d, want 500-200=300", rad.OverlapNS)
+	}
+	if got := conv.pct(conv.MemStallNS); got != 70 {
+		t.Errorf("conv mem-stall share = %v, want 70", got)
+	}
+	if len(b.Hists) != 1 || b.Hists[0].Name != "rad.mem.fill" {
+		t.Errorf("histograms wrong: %+v", b.Hists)
+	}
+}
+
+func TestOverlapClampsAtZero(t *testing.T) {
+	s := obs.Snapshot{
+		"rad.proc.compute_ns":     10,
+		"rad.proc.non_overlap_ns": 500,
+		"rad.ap.logic_busy_ns":    100,
+	}
+	b := FromSnapshot("demo", s)
+	if len(b.Phases) != 1 || b.Phases[0].OverlapNS != 0 {
+		t.Fatalf("overlap should clamp at zero: %+v", b.Phases)
+	}
+}
+
+func TestEmptyMachineOmitted(t *testing.T) {
+	b := FromSnapshot("demo", obs.Snapshot{"conv.proc.compute_ns": 5})
+	if len(b.Phases) != 1 || b.Phases[0].Machine != "conv" {
+		t.Fatalf("zero-total machines should be omitted: %+v", b.Phases)
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	r := FromGroups(map[string]obs.Snapshot{
+		"beta":  sampleSnapshot(),
+		"alpha": sampleSnapshot(),
+	})
+	if len(r.Benchmarks) != 2 || r.Benchmarks[0].Name != "alpha" {
+		t.Fatalf("benchmarks not sorted: %+v", r.Benchmarks)
+	}
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Bottleneck attribution", "Latency histograms",
+		"alpha", "beta", "rad.mem.fill"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestParseMetrics(t *testing.T) {
+	raw := []byte("{\n  \"a\": 1,\n  \"b_max\": 2\n}")
+	s, err := ParseMetrics(raw)
+	if err != nil || s["a"] != 1 || s["b_max"] != 2 {
+		t.Fatalf("raw JSON parse: %v %v", s, err)
+	}
+
+	stdout := []byte("== Figure 3 ==\npages speedup\n1 2\n\n" +
+		MetricsMarker + "\n{\n  \"a\": 7\n}\ntrailing log line\n")
+	s, err = ParseMetrics(stdout)
+	if err != nil || s["a"] != 7 {
+		t.Fatalf("stdout parse: %v %v", s, err)
+	}
+
+	for _, bad := range []string{"", "no json here", "##### metrics (json) #####\n"} {
+		if _, err := ParseMetrics([]byte(bad)); err == nil {
+			t.Errorf("ParseMetrics(%q) should fail", bad)
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	old := obs.Snapshot{"same": 5, "changed": 10, "gone": 3}
+	new := obs.Snapshot{"same": 5, "changed": 15, "added": 2}
+	out := Diff(old, new, true).String()
+	for _, want := range []string{"changed", "gone", "added", "+50.00", "new"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "same") {
+		t.Error("onlyDiff should omit unchanged metrics")
+	}
+	all := Diff(old, new, false).String()
+	if !strings.Contains(all, "same") {
+		t.Error("full diff should include unchanged metrics")
+	}
+}

@@ -49,6 +49,17 @@ func (r *Runner) Collect(s obs.Snapshot) {
 	r.Metrics.Add(s)
 }
 
+// CollectGroup merges a run's metrics snapshot into both the collector's
+// overall snapshot and its per-group snapshot for key (conventionally the
+// benchmark name), so a sweep can be attributed per benchmark afterwards.
+// It is safe from worker goroutines and on a nil runner.
+func (r *Runner) CollectGroup(key string, s obs.Snapshot) {
+	if r == nil || r.Metrics == nil {
+		return
+	}
+	r.Metrics.AddGroup(key, s)
+}
+
 // PanicError is a crashed run converted into a structured error: the
 // sweep survives, reports which point died, and preserves the stack.
 type PanicError struct {
@@ -114,11 +125,15 @@ func Map[T any](r *Runner, n int, fn func(i int) (T, error)) ([]T, error) {
 }
 
 // Collector is a concurrency-safe accumulator of metrics snapshots: one
-// merged snapshot plus a count of the runs that contributed.
+// merged snapshot, optional per-group merged snapshots, plus a count of
+// the runs that contributed. Snapshot merging is associative and
+// commutative (see obs), so the totals are independent of worker
+// scheduling.
 type Collector struct {
-	mu   sync.Mutex
-	snap obs.Snapshot
-	runs int64
+	mu     sync.Mutex
+	snap   obs.Snapshot
+	groups map[string]obs.Snapshot
+	runs   int64
 }
 
 // NewCollector returns an empty collector.
@@ -132,6 +147,38 @@ func (c *Collector) Add(s obs.Snapshot) {
 	defer c.mu.Unlock()
 	c.snap.Merge(s)
 	c.runs++
+}
+
+// AddGroup merges one run's snapshot into both the overall snapshot and
+// the group keyed by key.
+func (c *Collector) AddGroup(key string, s obs.Snapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.snap.Merge(s)
+	c.runs++
+	if c.groups == nil {
+		c.groups = make(map[string]obs.Snapshot)
+	}
+	g := c.groups[key]
+	if g == nil {
+		g = obs.Snapshot{}
+		c.groups[key] = g
+	}
+	g.Merge(s)
+}
+
+// Groups returns a copy of the per-group merged snapshots. Groups exist
+// only for runs collected through AddGroup/CollectGroup.
+func (c *Collector) Groups() map[string]obs.Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]obs.Snapshot, len(c.groups))
+	for k, g := range c.groups {
+		cp := make(obs.Snapshot, len(g))
+		cp.Merge(g)
+		out[k] = cp
+	}
+	return out
 }
 
 // Runs reports how many snapshots have been merged.
