@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench microbench paper clean
+.PHONY: all build test race vet bench microbench quickbench paper clean
 
 all: build test
 
@@ -17,14 +17,23 @@ vet:
 	$(GO) vet ./...
 	gofmt -l .
 
+# Root bench_test.go: end-to-end experiment timings with allocation counts.
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -bench . -benchtime 1x -benchmem -run '^$$' .
 
-# Hot-path microbenchmarks: store/cache/DRAM/hierarchy/CPU fast paths.
+# Hot-path microbenchmarks: store/cache/DRAM/hierarchy/CPU fast paths and
+# the stream-folding layer.
 microbench:
-	$(GO) test -bench 'Access|Store|CPU|Slice' -run '^$$' \
+	$(GO) test -bench 'Access|Store|CPU|Slice|Stream' -benchmem -run '^$$' \
 		./internal/mem/ ./internal/cache/ ./internal/dram/ \
 		./internal/memsys/ ./internal/proc/
+
+# One-command check of the evaluation-loop speedup criterion: wall-clock of
+# the full quick sweep on a single worker.
+quickbench:
+	$(GO) build -o /tmp/apbench-quickbench ./cmd/apbench
+	@s=$$(date +%s%N); /tmp/apbench-quickbench -experiment all -quick -jobs 1 > /dev/null; \
+	e=$$(date +%s%N); echo "quick run: $$(( (e-s)/1000000 )) ms"
 
 # Regenerate every table and figure of the paper's evaluation.
 paper:

@@ -37,6 +37,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"activepages/internal/experiments"
 	"activepages/internal/obs"
@@ -45,6 +46,12 @@ import (
 	"activepages/internal/run"
 	"activepages/internal/tabler"
 )
+
+// allExperiments names every composite experiment, in the order
+// -experiment all runs them. Usage output and the unknown-experiment
+// error enumerate the same list, so the three can never drift apart.
+var allExperiments = []string{"table1", "table2", "table3", "fig3", "fig4",
+	"table4", "crossover", "fig5", "fig8", "fig9", "smp", "ablations"}
 
 func main() {
 	if err := realMain(); err != nil {
@@ -74,6 +81,16 @@ func realMain() error {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
+	flag.Usage = func() {
+		w := flag.CommandLine.Output()
+		fmt.Fprintf(w, "Usage: %s [flags]\n\n", filepath.Base(os.Args[0]))
+		fmt.Fprintf(w, "-experiment accepts a composite experiment:\n  all %s\n",
+			strings.Join(allExperiments, " "))
+		fmt.Fprintf(w, "or a single benchmark name, which sweeps that benchmark alone over\nthe problem-size axis:\n  %s\n\n",
+			strings.Join(experiments.BenchmarkNames(), " "))
+		fmt.Fprintln(w, "Flags:")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -312,8 +329,7 @@ func runExperiment(r *run.Runner, experiment string, cfg radram.Config, points [
 		experiments.SwapCost(radram.DefaultConfig()).WriteTo(out)
 		experiments.PagingStudy(r, 8, 3500).WriteTo(out)
 	case "all":
-		for _, e := range []string{"table1", "table2", "table3", "fig3", "fig4",
-			"table4", "crossover", "fig5", "fig8", "fig9", "smp", "ablations"} {
+		for _, e := range allExperiments {
 			fmt.Fprintf(out, "\n##### %s #####\n", e)
 			if err := runExperiment(r, e, cfg, points, regions, l2, csvDir); err != nil {
 				return err
@@ -324,7 +340,9 @@ func runExperiment(r *run.Runner, experiment string, cfg radram.Config, points [
 		// over the problem-size axis.
 		b, berr := experiments.BenchmarkByName(experiment)
 		if berr != nil {
-			return fmt.Errorf("unknown experiment %q", experiment)
+			return fmt.Errorf("unknown experiment %q (want all, %s, or a benchmark: %s)",
+				experiment, strings.Join(allExperiments, ", "),
+				strings.Join(experiments.BenchmarkNames(), ", "))
 		}
 		s, err := experiments.RunSweep(r, b, cfg, points)
 		if err != nil {

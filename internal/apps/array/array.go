@@ -21,6 +21,7 @@ import (
 
 	"activepages/internal/apps"
 	"activepages/internal/apps/layout"
+	"activepages/internal/memsys"
 	"activepages/internal/radram"
 )
 
@@ -192,34 +193,51 @@ func (a *Conventional) Get(pos int) uint32 {
 }
 
 // memmove charges and performs an optimized tail move of count elements
-// from src to dst element indices.
+// from src to dst element indices. The full 256-element chunks form a fixed
+// 1 KB-stride stream of read/write pairs (the write a constant offset from
+// the read), which the folding layer can fast-forward; the bytes move in
+// one bulk store operation, which is what the chunked loop computes anyway.
 func (a *Conventional) memmove(dst, src, count int) {
 	if count <= 0 {
 		return
 	}
 	cpu := a.m.CPU
 	const chunkElems = 256
-	if a.buf == nil {
-		a.buf = make([]byte, chunkElems*4)
+	if cap(a.buf) < count*4 {
+		a.buf = make([]byte, count*4)
 	}
-	buf := a.buf
+	buf := a.buf[:count*4]
+	a.m.Store.Read(a.base+uint64(src)*4, buf) // functional move, not timed
+	a.m.Store.Write(a.base+uint64(dst)*4, buf)
+
+	full := count / chunkElems
+	rem := count - full*chunkElems
+	accs := [2]memsys.StreamAcc{
+		{Off: 0, Size: chunkElems * 4, Count: 1, Kind: memsys.Read},
+		{Off: int64(dst-src) * 4, Size: chunkElems * 4, Count: 1, Kind: memsys.Write},
+	}
+	const cpi = chunkElems/8 + 4 // unrolled loop overhead
 	if dst > src {
-		// Move backward (from the top) so the tail is not clobbered.
-		for remaining := count; remaining > 0; {
-			c := min(remaining, chunkElems)
-			remaining -= c
-			cpu.ReadBlock(a.base+uint64(src+remaining)*4, buf[:c*4])
-			cpu.WriteBlock(a.base+uint64(dst+remaining)*4, buf[:c*4])
-			cpu.Compute(uint64(c/8 + 4)) // unrolled loop overhead
+		// Move backward (from the top) so the tail is not clobbered: full
+		// chunks descend from the top, then the partial bottom chunk.
+		if full > 0 {
+			cpu.Stream(a.base+uint64(src+count-chunkElems)*4, -chunkElems*4,
+				uint64(full), accs[:], cpi)
+		}
+		if rem > 0 {
+			cpu.TouchLoad(a.base+uint64(src)*4, uint64(rem)*4)
+			cpu.TouchStore(a.base+uint64(dst)*4, uint64(rem)*4)
+			cpu.Compute(uint64(rem/8 + 4))
 		}
 		return
 	}
-	for done := 0; done < count; {
-		c := min(count-done, chunkElems)
-		cpu.ReadBlock(a.base+uint64(src+done)*4, buf[:c*4])
-		cpu.WriteBlock(a.base+uint64(dst+done)*4, buf[:c*4])
-		cpu.Compute(uint64(c/8 + 4))
-		done += c
+	if full > 0 {
+		cpu.Stream(a.base+uint64(src)*4, chunkElems*4, uint64(full), accs[:], cpi)
+	}
+	if rem > 0 {
+		cpu.TouchLoad(a.base+uint64(src+full*chunkElems)*4, uint64(rem)*4)
+		cpu.TouchStore(a.base+uint64(dst+full*chunkElems)*4, uint64(rem)*4)
+		cpu.Compute(uint64(rem/8 + 4))
 	}
 }
 
@@ -242,25 +260,32 @@ func (a *Conventional) Delete(pos int) error {
 
 // Count implements Array. The scan streams ascending, so the loads batch
 // into chunked bulk reads; the per-element compare/increment/loop charge
-// aggregates with them, exactly as the scalar loop would accumulate it.
+// aggregates with them, exactly as the scalar loop would accumulate it. The
+// full chunks are a fixed 1 KB-stride stream the folding layer can
+// fast-forward; the comparisons run host-side over one bulk read.
 func (a *Conventional) Count(v uint32) (int, error) {
 	cpu := a.m.CPU
 	const chunkElems = 256
-	if a.elems == nil {
-		a.elems = make([]uint32, chunkElems)
+	if cap(a.elems) < a.n {
+		a.elems = make([]uint32, a.n)
 	}
+	vals := a.elems[:a.n]
+	a.m.Store.ReadU32Slice(a.base, vals) // functional scan, not timed
 	count := 0
-	for done := 0; done < a.n; {
-		c := min(a.n-done, chunkElems)
-		vals := a.elems[:c]
-		cpu.LoadU32Slice(a.base+uint64(done)*4, vals)
-		for _, e := range vals {
-			if e == v {
-				count++
-			}
+	for _, e := range vals {
+		if e == v {
+			count++
 		}
-		cpu.Compute(uint64(c) * 3) // compare, conditional increment, loop
-		done += c
+	}
+	full := a.n / chunkElems
+	rem := a.n - full*chunkElems
+	if full > 0 {
+		accs := [1]memsys.StreamAcc{{Size: 4, Count: chunkElems, Kind: memsys.Read}}
+		cpu.Stream(a.base, chunkElems*4, uint64(full), accs[:], chunkElems*3)
+	}
+	if rem > 0 {
+		accs := [1]memsys.StreamAcc{{Size: 4, Count: uint64(rem), Kind: memsys.Read}}
+		cpu.Stream(a.base+uint64(full*chunkElems)*4, chunkElems*4, 1, accs[:], uint64(rem)*3)
 	}
 	return count, nil
 }

@@ -14,12 +14,14 @@ package mpeg
 
 import (
 	"fmt"
+	"sync"
 
 	"activepages/internal/apps"
 	"activepages/internal/apps/layout"
 	"activepages/internal/circuits"
 	"activepages/internal/core"
 	"activepages/internal/logic"
+	"activepages/internal/memsys"
 	"activepages/internal/radram"
 	"activepages/internal/workload"
 )
@@ -64,8 +66,7 @@ func (Benchmark) Run(m *radram.Machine, pages float64) error {
 	if blocks < 1 {
 		blocks = 1
 	}
-	frame := workload.NewMPEGFrame(seed, blocks)
-	want := frame.ApplyCorrectionReference()
+	frame, want := sharedFrame(blocks)
 
 	var got []int16
 	var err error
@@ -83,6 +84,31 @@ func (Benchmark) Run(m *radram.Machine, pages float64) error {
 		}
 	}
 	return nil
+}
+
+// sharedFrame memoizes the benchmark's frame and reference answer per block
+// count: the harness runs the kernel at many sizes for both machine kinds,
+// and generation is deterministic. Returned slices are shared, read-only.
+var (
+	frameMu    sync.Mutex
+	frameMemo  map[int]*workload.MPEGFrame
+	frameWants map[int][]int16
+)
+
+func sharedFrame(blocks int) (*workload.MPEGFrame, []int16) {
+	frameMu.Lock()
+	defer frameMu.Unlock()
+	if f, ok := frameMemo[blocks]; ok {
+		return f, frameWants[blocks]
+	}
+	if frameMemo == nil {
+		frameMemo = make(map[int]*workload.MPEGFrame)
+		frameWants = make(map[int][]int16)
+	}
+	f := workload.NewMPEGFrame(seed, blocks)
+	frameMemo[blocks] = f
+	frameWants[blocks] = f.ApplyCorrectionReference()
+	return f, frameWants[blocks]
 }
 
 func saturate(v int32) int16 {
@@ -121,18 +147,28 @@ func runConventional(m *radram.Machine, f *workload.MPEGFrame) []int16 {
 	out := make([]int16, n)
 	// Four halfwords per iteration: movq.l ref, movq.l corr, paddsw,
 	// movq.s — but SimpleScalar MMX produces only 32 bits per instruction
-	// (Section 5.2), so each 64-bit store issues as two instructions.
-	for i := 0; i < n; i += 4 {
-		cpu.LoadU64(refB + uint64(i)*2)
-		cpu.LoadU64(corB + uint64(i)*2)
-		cpu.Compute(2 + 2) // two 32-bit paddsw issues + loop overhead
-		var packed uint64
-		for k := 0; k < 4 && i+k < n; k++ {
-			out[i+k] = saturate(int32(f.Reference[i+k]) + int32(f.Correction[i+k]))
-			packed |= uint64(uint16(out[i+k])) << (16 * uint(k))
-		}
-		cpu.StoreU64(outB+uint64(i)*2, packed)
+	// (Section 5.2), so each 64-bit store issues as two instructions. The
+	// loop is an exact fixed-stride pattern (two 8-byte loads and one 8-byte
+	// store per iteration, all advancing by 8), so the stream layer can fold
+	// its steady state; the saturating adds run host-side with the result
+	// written to the store in one bulk move.
+	full := n / 4
+	accs := [3]memsys.StreamAcc{
+		{Off: 0, Size: 8, Count: 1, Kind: memsys.Read},
+		{Off: int64(corB - refB), Size: 8, Count: 1, Kind: memsys.Read},
+		{Off: int64(outB - refB), Size: 8, Count: 1, Kind: memsys.Write},
 	}
+	cpu.Stream(refB, 8, uint64(full), accs[:], 2+2)
+	for i := full * 4; i < n; i += 4 {
+		cpu.TouchLoad(refB+uint64(i)*2, 8)
+		cpu.TouchLoad(corB+uint64(i)*2, 8)
+		cpu.Compute(2 + 2)
+		cpu.TouchStore(outB+uint64(i)*2, 8)
+	}
+	for i := range out {
+		out[i] = saturate(int32(f.Reference[i]) + int32(f.Correction[i]))
+	}
+	m.Store.WriteU16Slice(outB, packU16(out))
 	return out
 }
 

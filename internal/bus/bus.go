@@ -86,6 +86,33 @@ func (b *Bus) TransferTime(n uint64) sim.Duration {
 	return d
 }
 
+// AddFoldStats adds periods repetitions of the per-period statistics delta,
+// used by the stream-folding layer to fast-forward the stateless bus. The
+// transfer histogram is advanced separately via AddHistDelta.
+func (b *Bus) AddFoldStats(delta Stats, periods uint64) {
+	b.Stats.Transfers += delta.Transfers * periods
+	b.Stats.Bytes += delta.Bytes * periods
+	b.Stats.BusyTime += delta.BusyTime * sim.Duration(periods)
+}
+
+// StatsDelta returns s minus prev, element-wise.
+func (s Stats) StatsDelta(prev Stats) Stats {
+	return Stats{
+		Transfers: s.Transfers - prev.Transfers,
+		Bytes:     s.Bytes - prev.Bytes,
+		BusyTime:  s.BusyTime - prev.BusyTime,
+	}
+}
+
+// HistCheckpoint captures the transfer histogram's contents.
+func (b *Bus) HistCheckpoint() obs.HistCheckpoint { return b.hist.Checkpoint() }
+
+// AddHistDelta replays a checkpoint delta times over into the transfer
+// histogram.
+func (b *Bus) AddHistDelta(delta obs.HistCheckpoint, times uint64) {
+	b.hist.AddDelta(delta, times)
+}
+
 // PeakBytesPerSecond reports the bus's peak bandwidth.
 func (b *Bus) PeakBytesPerSecond() float64 {
 	return float64(b.cfg.WordBytes) / b.cfg.BeatTime.Seconds()

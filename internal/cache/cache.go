@@ -248,6 +248,45 @@ func (c *Cache) RepeatHit(addr uint64, n uint64, write bool) {
 	}
 }
 
+// StreamRepeat charges k further rounds of hits over resident lines: each
+// round performs counts[j] consecutive accesses to the line containing
+// addrs[j], in slice order, with writes[j] setting the dirty bit. The
+// caller guarantees every line is resident and stays resident — any two
+// entries are either the same line or map to different sets — so every
+// access is a hit. State ends byte-identical to executing the k·Σcounts
+// interleaved Access calls: the clock advances once per access and each
+// line's LRU stamp is the clock value of its last hit in the final round.
+// Returns the number of hits charged (k·Σcounts), which the caller prices.
+func (c *Cache) StreamRepeat(addrs, counts []uint64, writes []bool, k uint64) uint64 {
+	var perRound uint64
+	for _, n := range counts {
+		perRound += n
+	}
+	if k == 0 || perRound == 0 {
+		return 0
+	}
+	base := c.clock + (k-1)*perRound
+	var prefix uint64
+	for j, addr := range addrs {
+		set, tag := c.locate(addr)
+		ways := c.sets[set]
+		prefix += counts[j]
+		for i := range ways {
+			if ways[i].valid && ways[i].tag == tag {
+				ways[i].lru = base + prefix
+				if writes[j] {
+					ways[i].dirty = true
+				}
+				c.mru[set] = int32(i)
+				break
+			}
+		}
+	}
+	c.clock += k * perRound
+	c.Stats.Hits += k * perRound
+	return k * perRound
+}
+
 // lineAddr reconstructs the base address of a line from set and tag.
 func (c *Cache) lineAddr(set, tag uint64) uint64 {
 	return (tag*c.nsets + set) * c.cfg.LineBytes

@@ -160,9 +160,9 @@ func (c *Core) Step() error {
 	}
 	fetchTime := c.hier.Access(uint64(c.pc), 4, memsys.Fetch)
 	// The pipelined front end hides the L1 hit; only miss time stalls.
-	if fetchTime > c.hier.Config().L1HitTime {
-		c.now += fetchTime - c.hier.Config().L1HitTime
-		c.Stats.MemTime += fetchTime - c.hier.Config().L1HitTime
+	if fetchTime > c.hier.L1HitTime() {
+		c.now += fetchTime - c.hier.L1HitTime()
+		c.Stats.MemTime += fetchTime - c.hier.L1HitTime()
 	}
 	word := c.store.ReadU32(uint64(c.pc))
 	in, err := isa.Decode(word)

@@ -98,10 +98,11 @@ type Device struct {
 	// hist records every access's latency (registered as "<prefix>.access"
 	// by Observe).
 	hist *obs.Histogram
-	// OnAccess, when set, is invoked after every access with whether the
-	// row was open and the access latency — the tracing hook. It must be
-	// nil when tracing is off so the access path pays only a nil check.
-	OnAccess func(rowHit bool, d sim.Duration)
+	// OnAccess, when set, is invoked after every access with the address,
+	// whether the row was open, and the access latency — the tracing and
+	// stream-recording hook. It must be nil otherwise so the access path
+	// pays only a nil check.
+	OnAccess func(addr uint64, rowHit bool, d sim.Duration)
 }
 
 // New builds a device. It panics on an invalid configuration.
@@ -141,14 +142,14 @@ func (d *Device) AccessTime(addr uint64) sim.Duration {
 	if d.cfg.AccessTime == 0 {
 		d.hist.Observe(0)
 		if d.OnAccess != nil {
-			d.OnAccess(true, 0)
+			d.OnAccess(addr, true, 0)
 		}
 		return 0
 	}
 	sub := addr >> d.subShift
 	row := int64((addr & d.subMask) >> d.rowShift)
 	if d.haveLast && sub == d.lastSub && row == d.lastRow {
-		return d.rowHit()
+		return d.rowHit(addr)
 	}
 	d.lastSub, d.lastRow, d.haveLast = sub, row, true
 	if sub < maxDenseSubarrays {
@@ -156,7 +157,7 @@ func (d *Device) AccessTime(addr uint64) sim.Duration {
 			d.growDense(sub)
 		}
 		if d.openRow[sub] == row {
-			return d.rowHit()
+			return d.rowHit(addr)
 		}
 		d.openRow[sub] = row
 	} else {
@@ -164,24 +165,24 @@ func (d *Device) AccessTime(addr uint64) sim.Duration {
 			d.overflow = make(map[uint64]uint64)
 		}
 		if open, ok := d.overflow[sub]; ok && open == uint64(row) {
-			return d.rowHit()
+			return d.rowHit(addr)
 		}
 		d.overflow[sub] = uint64(row)
 	}
 	d.Stats.RowMisses++
 	d.hist.Observe(d.cfg.AccessTime)
 	if d.OnAccess != nil {
-		d.OnAccess(false, d.cfg.AccessTime)
+		d.OnAccess(addr, false, d.cfg.AccessTime)
 	}
 	return d.cfg.AccessTime
 }
 
-// rowHit accounts one open-row access.
-func (d *Device) rowHit() sim.Duration {
+// rowHit accounts one open-row access to addr.
+func (d *Device) rowHit(addr uint64) sim.Duration {
 	d.Stats.RowHits++
 	d.hist.Observe(d.cfg.RowHitTime)
 	if d.OnAccess != nil {
-		d.OnAccess(true, d.cfg.RowHitTime)
+		d.OnAccess(addr, true, d.cfg.RowHitTime)
 	}
 	return d.cfg.RowHitTime
 }

@@ -47,6 +47,16 @@ func Benchmarks() []apps.Benchmark {
 	}
 }
 
+// BenchmarkNames lists every name BenchmarkByName accepts: the Figure 3
+// kernels in legend order, then the derived median-total measurement.
+func BenchmarkNames() []string {
+	names := make([]string, 0, len(Benchmarks())+1)
+	for _, b := range Benchmarks() {
+		names = append(names, b.Name())
+	}
+	return append(names, "median-total")
+}
+
 // BenchmarkByName resolves a kernel name.
 func BenchmarkByName(name string) (apps.Benchmark, error) {
 	for _, b := range Benchmarks() {

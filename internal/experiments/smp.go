@@ -59,7 +59,7 @@ func runSMPDatabase(r *run.Runner, cfg radram.Config, pages float64, nProc int) 
 	// study lays it out.
 	perPage := int((cfg.AP.PageBytes - layout.HeaderBytes) / workload.RecordBytes)
 	nRecords := max(int(pages*float64(perPage)), nProc)
-	book := workload.AddressBook(1998, nRecords)
+	book := workload.SharedAddressBook(1998, nRecords)
 	want := workload.CountLastName(book, workload.QueryName())
 	nPages := (nRecords + perPage - 1) / perPage
 

@@ -1,0 +1,721 @@
+// Stream folding: periodicity-detecting simulation of fixed-stride access
+// streams.
+//
+// A fixed-stride stream against this hierarchy is eventually periodic in
+// every observable: the caches, bus, and DRAM are deterministic, and once
+// the per-iteration address delta has advanced the stream by a multiple of
+// every component's alignment span — the L1D and L2 set spans and the DRAM
+// subarray size — each further period replays the previous one translated
+// by that delta. Set indices repeat with tags shifted by delta/span, DRAM
+// subarray indices shift by delta/SubarrayBytes with row indices unchanged,
+// and the bus is stateless. StreamRun simulates scalar-for-scalar until it
+// can verify that steady state has been reached, then fast-forwards the
+// remaining whole periods in closed form: statistics and histograms gain
+// the period delta times the period count, cache tags and LRU stamps shift,
+// DRAM open rows are replayed from the recorded period, and the returned
+// latency grows by the period latency times the period count. Anything that
+// fails verification within a bounded warm-up — or is disqualified up front
+// (Reference mode, tracing, uncached kinds, zero stride, non-power-of-two
+// set counts) — runs on the exact scalar path instead.
+//
+// Soundness rests on three verified conditions, spelled out in DESIGN.md §9:
+//
+//  1. Cache state at consecutive period boundaries must match under the tag
+//     shift with every valid line in a stream-touched set participating
+//     (cache.VerifyFoldShift) and untouched sets bit-identical. This is
+//     both the periodicity witness and the guard against stationary lines
+//     whose LRU rank would decay during a fast-forwarded period.
+//  2. The DRAM access lists of enough consecutive periods must be exact
+//     delta-translations of one another — enough to cover the deepest
+//     cross-period open-row reuse in the pattern — and per-period
+//     statistics, histogram, and latency deltas must repeat exactly.
+//  3. Subarrays the fold enters for the first time must have pre-stream
+//     open-row state that reproduces the recorded first-touch outcome; the
+//     fold is capped at the first period where a stale open row would have
+//     flipped a recorded row miss into a hit (or vice versa).
+package memsys
+
+import (
+	"math/bits"
+
+	"activepages/internal/bus"
+	"activepages/internal/cache"
+	"activepages/internal/dram"
+	"activepages/internal/obs"
+	"activepages/internal/sim"
+)
+
+// StreamAcc describes one access performed on every iteration of a stream:
+// Count consecutive Size-byte accesses starting Off bytes from the
+// iteration's base address. Count == 1 models a single (possibly
+// multi-line) access like a block copy; Count > 1 models a typed slice
+// access and is charged exactly like AccessElems.
+type StreamAcc struct {
+	Off   int64
+	Size  uint64
+	Count uint64
+	Kind  AccessKind
+}
+
+// FoldStats counts the folding layer's decisions. Diagnostic only.
+type FoldStats struct {
+	Streams       uint64 // StreamRun invocations
+	Folded        uint64 // invocations that fast-forwarded at least one period
+	FoldedPeriods uint64
+	FoldedIters   uint64 // iterations skipped by folding
+	ScalarIters   uint64 // iterations simulated scalar (incl. warm-up and tails)
+}
+
+const (
+	// foldMinPeriods: streams shorter than this many periods run scalar —
+	// warm-up plus verification needs at least two periods and folding
+	// fewer than the remainder is not worth the snapshots.
+	foldMinPeriods = 4
+	// foldMaxWarmup bounds the warm-up: if periodicity has not been
+	// verified after this many scalar periods, the stream runs scalar.
+	foldMaxWarmup = 12
+	// foldMaxBackDepth bounds how many periods back a pattern's open-row
+	// reuse may reach; deeper reuse (only possible when distinct stream
+	// regions are separated by an exact multiple of the period delta)
+	// falls back to scalar.
+	foldMaxBackDepth = 3
+	// foldMaxBackWork caps the subarray back-reference scan.
+	foldMaxBackWork = 1 << 16
+)
+
+// dramAcc is one recorded DRAM access.
+type dramAcc struct {
+	addr uint64
+	hit  bool
+}
+
+// foldFirst is the first recorded DRAM access to one subarray within a
+// period. fresh marks subarrays no other period ever touches, whose
+// pre-stream state must be guarded per folded period.
+type foldFirst struct {
+	sub   int64
+	row   int64
+	hit   bool
+	fresh bool
+}
+
+// foldBoundary is the observable-counter checkpoint taken at each period
+// boundary. It is a comparable value so per-period deltas can be checked
+// for equality directly.
+type foldBoundary struct {
+	bus   bus.Stats
+	dram  dram.Stats
+	fill  obs.HistCheckpoint
+	busH  obs.HistCheckpoint
+	dramH obs.HistCheckpoint
+	lat   sim.Duration
+}
+
+func (b foldBoundary) delta(prev foldBoundary) foldBoundary {
+	return foldBoundary{
+		bus:   b.bus.StatsDelta(prev.bus),
+		dram:  b.dram.StatsDelta(prev.dram),
+		fill:  b.fill.Sub(prev.fill),
+		busH:  b.busH.Sub(prev.busH),
+		dramH: b.dramH.Sub(prev.dramH),
+		lat:   b.lat - prev.lat,
+	}
+}
+
+// foldScratch holds every buffer the folding layer reuses across
+// StreamRun calls, so the folded path runs allocation-free once warm.
+type foldScratch struct {
+	snaps [2]struct {
+		l1, l2 cache.FoldSnapshot
+	}
+	cur      int // index of the snapshot taken at the latest boundary
+	bounds   [3]foldBoundary
+	nBounds  int
+	touched1 []uint64 // L1D touched-set bitmap
+	touched2 []uint64 // L2 touched-set bitmap
+	// recs is the flat DRAM access record for all warm-up periods;
+	// periodStart[k] is where period k's records begin.
+	recs        []dramAcc
+	periodStart []int
+	subs        map[int64]struct{}
+	seen        map[int64]struct{}
+	firsts      []foldFirst
+	lastPerSub  []uint64 // address of the last DRAM access per subarray
+	kmax        int      // deepest cross-period subarray back-reference
+	bail        bool     // pattern disqualified: stop warming, run scalar
+	hook        func(addr uint64, rowHit bool, d sim.Duration)
+}
+
+func (h *Hierarchy) foldScratch() *foldScratch {
+	if h.fold == nil {
+		fs := &foldScratch{
+			subs: make(map[int64]struct{}),
+			seen: make(map[int64]struct{}),
+		}
+		fs.hook = func(addr uint64, rowHit bool, _ sim.Duration) {
+			fs.recs = append(fs.recs, dramAcc{addr, rowHit})
+		}
+		h.fold = fs
+	}
+	return h.fold
+}
+
+func (fs *foldScratch) reset() {
+	fs.nBounds = 0
+	fs.recs = fs.recs[:0]
+	fs.periodStart = append(fs.periodStart[:0], 0)
+	fs.firsts = fs.firsts[:0]
+	fs.lastPerSub = fs.lastPerSub[:0]
+	fs.kmax = 0
+	fs.bail = false
+}
+
+// list returns period j's recorded DRAM accesses.
+func (fs *foldScratch) list(j int) []dramAcc {
+	return fs.recs[fs.periodStart[j]:fs.periodStart[j+1]]
+}
+
+func (fs *foldScratch) pushBoundary(b foldBoundary) {
+	if fs.nBounds < len(fs.bounds) {
+		fs.bounds[fs.nBounds] = b
+		fs.nBounds++
+		return
+	}
+	fs.bounds[0], fs.bounds[1], fs.bounds[2] = fs.bounds[1], fs.bounds[2], b
+}
+
+// StrideStream simulates n elemBytes-wide accesses of the given kind at
+// base, base+stride, base+2·stride, …, folding the steady state when the
+// stream is long enough, and returns the total latency — exactly the sum n
+// scalar AccessRange calls would have returned, with identical final
+// hierarchy state, statistics, and histograms.
+func (h *Hierarchy) StrideStream(base, elemBytes uint64, stride int64, n uint64, kind AccessKind) sim.Duration {
+	accs := [1]StreamAcc{{Size: elemBytes, Count: 1, Kind: kind}}
+	return h.StreamRun(base, stride, n, accs[:])
+}
+
+// StreamRun simulates n iterations of a fixed-stride access pattern:
+// iteration i performs every entry of accs at base + i·stride + Off. It is
+// exactly equivalent — in returned latency, statistics, histograms, and
+// final state — to the scalar loop that calls AccessRange (Count == 1) or
+// AccessElems (Count > 1) for each entry in order.
+func (h *Hierarchy) StreamRun(base uint64, stride int64, n uint64, accs []StreamAcc) sim.Duration {
+	h.Folds.Streams++
+	if n == 0 || len(accs) == 0 {
+		return 0
+	}
+	if !h.foldEligible(stride, accs) {
+		h.Folds.ScalarIters += n
+		return h.streamScalar(base, stride, 0, n, accs)
+	}
+	P, delta, ok := h.foldPeriod(stride)
+	if !ok || n/P < foldMinPeriods || !foldNoWrap(base, stride, n, accs) {
+		h.Folds.ScalarIters += n
+		return h.streamScalar(base, stride, 0, n, accs)
+	}
+	return h.streamFold(base, stride, n, accs, P, delta)
+}
+
+// streamScalar simulates iterations [from, to) on the exact scalar path.
+func (h *Hierarchy) streamScalar(base uint64, stride int64, from, to uint64, accs []StreamAcc) sim.Duration {
+	if !h.Reference && from < to {
+		if t, done := h.streamScalarBatched(base, stride, from, to, accs); done {
+			return t
+		}
+	}
+	var total sim.Duration
+	for i := from; i < to; i++ {
+		total += h.streamIter(base, stride, i, accs)
+	}
+	return total
+}
+
+// streamBatchMax bounds the stack arrays of the line-run batcher.
+const streamBatchMax = 8
+
+// streamScalarBatched simulates [from, to) with guaranteed-hit line runs
+// batched: when an iteration's whole footprint lies inside cache lines
+// that the next k iterations keep re-touching (no access crosses a line
+// boundary for k more iterations), those k iterations are k rounds of L1
+// hits — nothing can evict the lines in between, because no set holds
+// more distinct footprint lines than it has ways, so after the first
+// (real) iteration every footprint line is resident and only those lines
+// are touched — and cache.StreamRepeat replays them in closed form,
+// byte-identical to the scalar interleave. Returns done=false when the
+// stream's shape disqualifies it up front (|stride| not smaller than a
+// line, an access wider than a line, a non-cacheable kind), leaving the
+// plain per-iteration loop to run.
+func (h *Hierarchy) streamScalarBatched(base uint64, stride int64, from, to uint64, accs []StreamAcc) (sim.Duration, bool) {
+	l1 := h.L1D
+	line := l1.LineBytes()
+	mag := uint64(stride)
+	if stride < 0 {
+		mag = uint64(-stride)
+	}
+	if mag == 0 || mag >= line || len(accs) == 0 || len(accs) > streamBatchMax {
+		return 0, false
+	}
+	var width, cnt [streamBatchMax]uint64
+	var wr [streamBatchMax]bool
+	var perRound uint64
+	for j := range accs {
+		a := &accs[j]
+		if (a.Kind != Read && a.Kind != Write) || a.Size == 0 || a.Size > line || a.Count > line {
+			return 0, false
+		}
+		w := a.Size * max(a.Count, 1)
+		if w > line {
+			return 0, false
+		}
+		width[j] = w
+		cnt[j] = max(a.Count, 1)
+		wr[j] = a.Kind == Write
+		perRound += cnt[j]
+	}
+	hitCost := h.cfg.L1HitTime
+	assoc := h.cfg.L1D.Assoc
+
+	var addrs [streamBatchMax]uint64
+	var total sim.Duration
+	for i := from; i < to; {
+		a0 := base + uint64(stride)*i
+		// Window length: iterations after i for which no access leaves the
+		// line it currently occupies, bounded by the nearest line boundary
+		// in the stride's direction; zero if any footprint straddles a
+		// boundary right now or two accesses share a set but not a line.
+		k := to - i - 1
+		for j := range accs {
+			aj := a0 + uint64(accs[j].Off)
+			off := aj & (line - 1)
+			if off+width[j] > line {
+				k = 0
+				break
+			}
+			var kj uint64
+			if stride > 0 {
+				kj = (line - off - width[j]) / mag
+			} else {
+				kj = off / mag
+			}
+			k = min(k, kj)
+			addrs[j] = aj
+		}
+		if k > 0 && len(accs) > 1 {
+			// No set may hold more distinct footprint lines than it has
+			// ways: the m-th distinct line inserted into a set during the
+			// first iteration always victimizes a non-footprint line (the
+			// m-1 already-touched lines carry newer LRU stamps), so with
+			// at most assoc lines per set the whole footprint is resident
+			// when the hit rounds begin.
+			var uline [streamBatchMax]uint64
+			nu := 0
+		dedupe:
+			for j := range accs {
+				lj := addrs[j] &^ (line - 1)
+				for t := 0; t < nu; t++ {
+					if uline[t] == lj {
+						continue dedupe
+					}
+				}
+				uline[nu] = lj
+				nu++
+			}
+			for t := 1; t < nu && k > 0; t++ {
+				inSet := 1
+				st := l1.SetIndex(uline[t])
+				for t2 := 0; t2 < t; t2++ {
+					if l1.SetIndex(uline[t2]) == st {
+						inSet++
+					}
+				}
+				if inSet > assoc {
+					k = 0
+				}
+			}
+		}
+		total += h.streamIter(base, stride, i, accs)
+		if k > 0 {
+			hits := l1.StreamRepeat(addrs[:len(accs)], cnt[:len(accs)], wr[:len(accs)], k)
+			total += sim.Duration(hits) * hitCost
+		}
+		i += k + 1
+	}
+	return total, true
+}
+
+// streamIter simulates one iteration.
+func (h *Hierarchy) streamIter(base uint64, stride int64, i uint64, accs []StreamAcc) sim.Duration {
+	var t sim.Duration
+	a0 := base + uint64(stride)*i
+	for k := range accs {
+		a := &accs[k]
+		addr := a0 + uint64(a.Off)
+		if a.Count > 1 {
+			t += h.AccessElems(addr, a.Size, a.Count, a.Kind)
+		} else {
+			t += h.AccessRange(addr, a.Size, a.Kind)
+		}
+	}
+	return t
+}
+
+// foldEligible applies the up-front disqualifiers.
+func (h *Hierarchy) foldEligible(stride int64, accs []StreamAcc) bool {
+	if h.Reference || h.tracer != nil || stride == 0 {
+		return false
+	}
+	if !h.L1D.SetsPow2() || !h.L2.SetsPow2() {
+		return false
+	}
+	for i := range accs {
+		if a := &accs[i]; (a.Kind != Read && a.Kind != Write) || a.Size == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// foldPeriod returns the iteration period P and its address delta = P·stride:
+// the smallest P whose delta is a multiple of every component's alignment
+// span, so each period lands on the same cache sets (tags shifted) and
+// shifts DRAM subarrays uniformly.
+func (h *Hierarchy) foldPeriod(stride int64) (P uint64, delta int64, ok bool) {
+	span1, span2, sub := h.L1D.SetSpan(), h.L2.SetSpan(), h.DRAM.SubarrayBytes()
+	L := max(span1, span2, sub)
+	// All three are powers of two (validated configs + SetsPow2), so the
+	// max is their lcm; the check guards hypothetical non-pow2 configs.
+	if L%span1 != 0 || L%span2 != 0 || L%sub != 0 {
+		return 0, 0, false
+	}
+	mag := uint64(stride)
+	if stride < 0 {
+		mag = uint64(-stride)
+	}
+	if mag > 1<<40 {
+		return 0, 0, false
+	}
+	g := uint64(1) << min(bits.TrailingZeros64(L), bits.TrailingZeros64(mag))
+	P = L / g
+	return P, stride * int64(P), true
+}
+
+// foldNoWrap reports whether the stream's full address footprint stays
+// inside [0, 2^64) without wrapping around. Cache tags and DRAM subarray
+// indices are quotients of the address, and division does not commute with
+// 64-bit wraparound: a descending stream crossing zero jumps from tag 0 to
+// the maximum tag, not to tag-1, so the true per-period state shift is
+// discontinuous at the boundary and the uniform tag-shift fold cannot
+// represent it. Wrapping streams run scalar.
+func foldNoWrap(base uint64, stride int64, n uint64, accs []StreamAcc) bool {
+	var extLo, extHi int64 // one iteration's footprint, relative to its base
+	for i := range accs {
+		a := &accs[i]
+		if a.Size > 1<<32 || a.Count > 1<<32 {
+			return false
+		}
+		extLo = min(extLo, a.Off)
+		extHi = max(extHi, a.Off+int64(a.Size*max(a.Count, 1)))
+	}
+	if extLo < -(1<<40) || extHi > 1<<40 {
+		return false
+	}
+	mag := uint64(stride)
+	if stride < 0 {
+		mag = uint64(-stride)
+	}
+	hi, span := bits.Mul64(mag, n-1)
+	if hi != 0 || span > 1<<62 {
+		return false
+	}
+	lo, hiAddr := base, base
+	if stride < 0 {
+		if span > base {
+			return false
+		}
+		lo = base - span
+	} else {
+		hiAddr = base + span
+		if hiAddr < base {
+			return false
+		}
+	}
+	if extLo < 0 && uint64(-extLo) > lo {
+		return false
+	}
+	// Keep the whole footprint well below the top of the address space:
+	// extents are bounded by 2^40 above, so this leaves no way for any
+	// touched byte — or a line walk over it — to reach the 2^64 boundary.
+	if hiAddr > 1<<63 {
+		return false
+	}
+	return true
+}
+
+// foldMarkTouched computes the per-cache touched-set bitmaps by replaying
+// one period of address arithmetic — no model calls. The bitmaps are
+// period-invariant: the period delta is a multiple of both set spans.
+func (h *Hierarchy) foldMarkTouched(fs *foldScratch, base uint64, stride int64, P uint64, accs []StreamAcc) {
+	fs.touched1 = resetBitmap(fs.touched1, h.L1D.NumSets())
+	fs.touched2 = resetBitmap(fs.touched2, h.L2.NumSets())
+	line1, line2 := h.L1D.LineBytes(), h.L2.LineBytes()
+	sameLine := line1 == line2
+	for i := uint64(0); i < P; i++ {
+		a0 := base + uint64(stride)*i
+		for k := range accs {
+			a := &accs[k]
+			start := a0 + uint64(a.Off)
+			size := a.Size * max(a.Count, 1)
+			for x := start &^ (line1 - 1); x <= (start+size-1)&^(line1-1); x += line1 {
+				s := h.L1D.SetIndex(x)
+				fs.touched1[s>>6] |= 1 << (s & 63)
+				if sameLine {
+					s2 := h.L2.SetIndex(x)
+					fs.touched2[s2>>6] |= 1 << (s2 & 63)
+				}
+			}
+			if !sameLine {
+				for x := start &^ (line2 - 1); x <= (start+size-1)&^(line2-1); x += line2 {
+					s2 := h.L2.SetIndex(x)
+					fs.touched2[s2>>6] |= 1 << (s2 & 63)
+				}
+			}
+		}
+	}
+}
+
+func resetBitmap(b []uint64, nsets uint64) []uint64 {
+	n := int((nsets + 63) / 64)
+	if cap(b) < n {
+		return make([]uint64, n)
+	}
+	b = b[:n]
+	clear(b)
+	return b
+}
+
+func (h *Hierarchy) foldBoundaryNow(lat sim.Duration) foldBoundary {
+	return foldBoundary{
+		bus:   h.Bus.Stats,
+		dram:  h.DRAM.Stats,
+		fill:  h.fillHist.Checkpoint(),
+		busH:  h.Bus.HistCheckpoint(),
+		dramH: h.DRAM.HistCheckpoint(),
+		lat:   lat,
+	}
+}
+
+func (h *Hierarchy) foldSnapshot(fs *foldScratch) {
+	fs.cur ^= 1
+	h.L1D.SnapshotInto(&fs.snaps[fs.cur].l1)
+	h.L2.SnapshotInto(&fs.snaps[fs.cur].l2)
+}
+
+// streamFold is the warm-up / verify / fast-forward pipeline.
+func (h *Hierarchy) streamFold(base uint64, stride int64, n uint64, accs []StreamAcc, P uint64, delta int64) sim.Duration {
+	fs := h.foldScratch()
+	fs.reset()
+	h.foldMarkTouched(fs, base, stride, P, accs)
+	tag1 := delta / int64(h.L1D.SetSpan())
+	tag2 := delta / int64(h.L2.SetSpan())
+
+	h.DRAM.OnAccess = fs.hook
+	var total sim.Duration
+	var iter uint64
+	fs.pushBoundary(h.foldBoundaryNow(total))
+	h.foldSnapshot(fs)
+	verified := false
+	for periods := 0; ; periods++ {
+		if periods >= foldMaxWarmup || fs.bail || n-iter < 2*P {
+			break
+		}
+		for end := iter + P; iter < end; iter++ {
+			total += h.streamIter(base, stride, iter, accs)
+		}
+		fs.periodStart = append(fs.periodStart, len(fs.recs))
+		fs.pushBoundary(h.foldBoundaryNow(total))
+		h.foldSnapshot(fs)
+		if periods >= 1 && h.foldVerify(fs, delta, tag1, tag2) {
+			verified = true
+			break
+		}
+	}
+	h.DRAM.OnAccess = nil
+
+	if verified {
+		M := (n - iter) / P
+		M = h.foldGuardDRAM(fs, delta, M)
+		if M > 0 {
+			h.foldApply(fs, delta, tag1, tag2, M)
+			total += fs.bounds[2].delta(fs.bounds[1]).lat * sim.Duration(M)
+			iter += M * P
+			h.Folds.Folded++
+			h.Folds.FoldedPeriods += M
+			h.Folds.FoldedIters += M * P
+		}
+	}
+	h.Folds.ScalarIters += n - iter
+	total += h.streamScalar(base, stride, iter, n, accs)
+	return total
+}
+
+// foldVerify checks every periodicity condition at the latest boundary.
+func (h *Hierarchy) foldVerify(fs *foldScratch, delta int64, tag1, tag2 int64) bool {
+	if fs.nBounds < 3 {
+		return false
+	}
+	if fs.bounds[1].delta(fs.bounds[0]) != fs.bounds[2].delta(fs.bounds[1]) {
+		return false
+	}
+	prev, cur := &fs.snaps[fs.cur^1], &fs.snaps[fs.cur]
+	if !h.L1D.VerifyFoldShift(&prev.l1, fs.touched1, tag1, cur.l1.Clock()-prev.l1.Clock()) {
+		return false
+	}
+	if !h.L2.VerifyFoldShift(&prev.l2, fs.touched2, tag2, cur.l2.Clock()-prev.l2.Clock()) {
+		return false
+	}
+	return h.foldVerifyDRAM(fs, delta)
+}
+
+// foldVerifyDRAM classifies the recorded period's subarray reuse and
+// requires enough consecutive recorded periods to be exact
+// delta-translations to cover the deepest back-reference.
+func (h *Hierarchy) foldVerifyDRAM(fs *foldScratch, delta int64) bool {
+	np := len(fs.periodStart) - 1
+	last := fs.list(np - 1)
+	if len(last) == 0 {
+		// DRAM untouched: nothing to classify, nothing to fix up.
+		fs.firsts = fs.firsts[:0]
+		fs.lastPerSub = fs.lastPerSub[:0]
+		fs.kmax = 0
+		return true
+	}
+	if !fs.classify(h.DRAM, last, delta) {
+		return false
+	}
+	if np < fs.kmax+2 {
+		return false // keep warming: history too shallow for the reuse depth
+	}
+	pairs := max(fs.kmax, 1)
+	for j := np - 1 - pairs; j < np-1; j++ {
+		a, b := fs.list(j), fs.list(j+1)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if b[i].addr != a[i].addr+uint64(delta) || b[i].hit != a[i].hit {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// classify builds, from one period's DRAM access list: the set of touched
+// subarrays, the first access per subarray (with its freshness class), the
+// last access address per subarray, and the deepest back-reference kmax.
+func (fs *foldScratch) classify(d *dram.Device, last []dramAcc, delta int64) bool {
+	dsub := delta / int64(d.SubarrayBytes())
+	clear(fs.subs)
+	clear(fs.seen)
+	fs.firsts = fs.firsts[:0]
+	fs.lastPerSub = fs.lastPerSub[:0]
+	minS, maxS := int64(1)<<62, int64(-1)<<62
+	for _, r := range last {
+		sub := int64(d.Subarray(r.addr))
+		if _, ok := fs.subs[sub]; !ok {
+			fs.subs[sub] = struct{}{}
+			fs.firsts = append(fs.firsts, foldFirst{sub: sub, row: d.Row(r.addr), hit: r.hit})
+			minS = min(minS, sub)
+			maxS = max(maxS, sub)
+		}
+	}
+	for i := len(last) - 1; i >= 0; i-- {
+		sub := int64(d.Subarray(last[i].addr))
+		if _, ok := fs.seen[sub]; !ok {
+			fs.seen[sub] = struct{}{}
+			fs.lastPerSub = append(fs.lastPerSub, last[i].addr)
+		}
+	}
+	adsub := dsub
+	if adsub < 0 {
+		adsub = -adsub
+	}
+	// delta is a nonzero multiple of SubarrayBytes, so adsub >= 1.
+	kRange := (maxS - minS) / adsub
+	if (kRange+1)*int64(len(fs.firsts)) > foldMaxBackWork {
+		fs.bail = true
+		return false
+	}
+	fs.kmax = 0
+	for i := range fs.firsts {
+		f := &fs.firsts[i]
+		// Period p-k's footprint is this period's shifted back by k·dsub,
+		// so f.sub was touched k periods ago iff f.sub+k·dsub is in this
+		// period's footprint.
+		depth := 0
+		for k := int64(1); k <= kRange; k++ {
+			if _, ok := fs.subs[f.sub+k*dsub]; ok {
+				depth = int(k)
+				break
+			}
+		}
+		switch {
+		case depth == 0:
+			f.fresh = true
+		case depth > foldMaxBackDepth:
+			fs.bail = true
+			return false
+		case depth > fs.kmax:
+			fs.kmax = depth
+		}
+	}
+	return true
+}
+
+// foldGuardDRAM caps the fold at the first period where a fresh subarray's
+// pre-stream open row would change the recorded first-touch outcome.
+func (h *Hierarchy) foldGuardDRAM(fs *foldScratch, delta int64, M uint64) uint64 {
+	if h.DRAM.Config().AccessTime == 0 || len(fs.firsts) == 0 {
+		return M
+	}
+	dsub := delta / int64(h.DRAM.SubarrayBytes())
+	for m := uint64(1); m <= M; m++ {
+		for i := range fs.firsts {
+			f := &fs.firsts[i]
+			if !f.fresh {
+				continue
+			}
+			pre := h.DRAM.OpenRow(uint64(f.sub + int64(m)*dsub))
+			if (pre == f.row) != f.hit {
+				return m - 1
+			}
+		}
+	}
+	return M
+}
+
+// foldApply fast-forwards every component by M periods.
+func (h *Hierarchy) foldApply(fs *foldScratch, delta int64, tag1, tag2 int64, M uint64) {
+	prev, cur := &fs.snaps[fs.cur^1], &fs.snaps[fs.cur]
+	h.L1D.ApplyFoldShift(fs.touched1, tag1, cur.l1.Clock()-prev.l1.Clock(), M)
+	h.L1D.AddFoldStats(cur.l1.Stats().StatsDelta(prev.l1.Stats()), M)
+	h.L2.ApplyFoldShift(fs.touched2, tag2, cur.l2.Clock()-prev.l2.Clock(), M)
+	h.L2.AddFoldStats(cur.l2.Stats().StatsDelta(prev.l2.Stats()), M)
+	d := fs.bounds[2].delta(fs.bounds[1])
+	h.Bus.AddFoldStats(d.bus, M)
+	h.Bus.AddHistDelta(d.busH, M)
+	h.DRAM.AddFoldStats(d.dram, M)
+	h.DRAM.AddHistDelta(d.dramH, M)
+	h.fillHist.AddDelta(d.fill, M)
+	if h.DRAM.Config().AccessTime != 0 && len(fs.lastPerSub) > 0 {
+		// Replay the open rows the folded periods leave behind, oldest
+		// period first so overlapping subarrays keep the newest row.
+		for m := uint64(1); m <= M; m++ {
+			off := uint64(delta) * m
+			for _, a := range fs.lastPerSub {
+				h.DRAM.SetOpenRow(h.DRAM.Subarray(a+off), h.DRAM.Row(a+off))
+			}
+		}
+		h.DRAM.SetLast(fs.recs[len(fs.recs)-1].addr + uint64(delta)*M)
+	}
+}

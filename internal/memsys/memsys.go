@@ -74,10 +74,20 @@ type Hierarchy struct {
 	UncachedAccesses uint64
 
 	// Reference disables the batched fast paths: AccessElems degrades to a
-	// per-element Access loop and AccessRange probes every line through the
-	// full chain. Timing and statistics must be identical either way — the
-	// equivalence tests run one machine in each mode and diff everything.
+	// per-element Access loop, AccessRange probes every line through the
+	// full chain, and StreamRun never folds. Timing and statistics must be
+	// identical either way — the equivalence tests run one machine in each
+	// mode and diff everything.
 	Reference bool
+
+	// Folds counts the stream-folding layer's decisions. It is diagnostic
+	// state for tests and tuning, deliberately not registered in Observe:
+	// folded and scalar runs must produce identical metric snapshots.
+	Folds FoldStats
+
+	// fold holds the folding layer's reusable scratch, allocated on first
+	// use so hierarchies that never stream pay nothing.
+	fold *foldScratch
 
 	// fillHist records the latency of every L1-miss fill; uncachedHist the
 	// latency of every uncached access. Both record at points the fast and
@@ -128,7 +138,7 @@ func (h *Hierarchy) SetTracer(tr *obs.Tracer, now func() sim.Time) {
 	h.Bus.OnTransfer = func(bytes uint64, d sim.Duration) {
 		tr.SpanArg(obs.TIDBus, "bus", "transfer", now(), d, int64(bytes))
 	}
-	h.DRAM.OnAccess = func(rowHit bool, d sim.Duration) {
+	h.DRAM.OnAccess = func(_ uint64, rowHit bool, d sim.Duration) {
 		if rowHit {
 			tr.Span(obs.TIDDRAM, "dram", "row_hit", now(), d)
 		} else {
@@ -139,6 +149,10 @@ func (h *Hierarchy) SetTracer(tr *obs.Tracer, now func() sim.Time) {
 
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
+
+// L1HitTime returns the L1 hit latency without copying the whole Config —
+// the processors read it on every scalar access.
+func (h *Hierarchy) L1HitTime() sim.Duration { return h.cfg.L1HitTime }
 
 // Observe registers the whole hierarchy's counters — its own plus every
 // level's — under prefix (conventionally "mem").
@@ -208,8 +222,12 @@ func (h *Hierarchy) AccessRange(addr uint64, size uint64, kind AccessKind) sim.D
 		}
 		return h.accessLine(l1, first, write)
 	}
+	// Count lines from the in-line offset rather than comparing line
+	// addresses: an access that ends in the top line of the address space
+	// would otherwise wrap the loop variable past `last` and never stop.
+	nl := ((addr & (line - 1)) + size + line - 1) / line
 	var total sim.Duration
-	for a := first; a <= last; a += line {
+	for a := first; nl > 0; nl, a = nl-1, a+line {
 		if !h.Reference && l1.AccessFast(a, write) {
 			total += h.cfg.L1HitTime
 			continue
@@ -263,11 +281,13 @@ func (h *Hierarchy) AccessElems(addr, elemBytes, n uint64, kind AccessKind) sim.
 		return total
 	}
 
+	// Advance by an element counter, not an end-address comparison, so a
+	// batch whose addresses wrap past the top of the address space still
+	// terminates and matches the per-element reference loop.
 	var total sim.Duration
-	end := addr + n*elemBytes
-	for a := addr; a < end; {
-		stop := min((a&^(line-1))+line, end)
-		k := (stop - a) / elemBytes
+	for i := uint64(0); i < n; {
+		a := addr + i*elemBytes
+		k := min((line-(a&(line-1)))/elemBytes, n-i)
 		if l1.AccessFast(a, write) {
 			total += h.cfg.L1HitTime
 		} else {
@@ -277,7 +297,7 @@ func (h *Hierarchy) AccessElems(addr, elemBytes, n uint64, kind AccessKind) sim.
 			l1.RepeatHit(a, k-1, write)
 			total += sim.Duration(k-1) * h.cfg.L1HitTime
 		}
-		a = stop
+		i += k
 	}
 	return total
 }

@@ -39,13 +39,35 @@ type Params struct {
 // NonOverlaps evaluates the NO(i) recurrence for K pages with constant
 // parameters, returning the per-page non-overlap times.
 func (p Params) NonOverlaps(k int) []sim.Duration {
-	ta := make([]sim.Duration, k)
-	tp := make([]sim.Duration, k)
-	tc := make([]sim.Duration, k)
-	for i := range ta {
-		ta[i], tp[i], tc[i] = p.TA, p.TP, p.TC
+	no := make([]sim.Duration, k)
+	var sumNO, sumTP sim.Duration
+	suffixTA := sim.Duration(k) * p.TA
+	for i := 0; i < k; i++ {
+		suffixTA -= p.TA // activations for pages i+1..K
+		otherWork := suffixTA + sumTP + sumNO
+		if p.TC > otherWork {
+			no[i] = p.TC - otherWork
+		}
+		sumNO += no[i]
+		sumTP += p.TP
 	}
-	return NonOverlaps(ta, tp, tc)
+	return no
+}
+
+// totalNO is Σ NO(i) for constant parameters, without materializing the
+// per-page vector — the solvers call it once per candidate K.
+func (p Params) totalNO(k int) sim.Duration {
+	var sumNO, sumTP sim.Duration
+	suffixTA := sim.Duration(k) * p.TA
+	for i := 0; i < k; i++ {
+		suffixTA -= p.TA
+		otherWork := suffixTA + sumTP + sumNO
+		if p.TC > otherWork {
+			sumNO += p.TC - otherWork
+		}
+		sumTP += p.TP
+	}
+	return sumNO
 }
 
 // NonOverlaps evaluates the general NO(i) recurrence of Figure 7 for
@@ -74,11 +96,7 @@ func NonOverlaps(ta, tp, tc []sim.Duration) []sim.Duration {
 // PartitionedTime is the model's execution time for K pages:
 // Σ (T_A + T_P + NO).
 func (p Params) PartitionedTime(k int) sim.Duration {
-	var total sim.Duration
-	for _, no := range p.NonOverlaps(k) {
-		total += no
-	}
-	return total + sim.Duration(k)*(p.TA+p.TP)
+	return p.totalNO(k) + sim.Duration(k)*(p.TA+p.TP)
 }
 
 // Speedup is Speedup_partitioned for K pages.
@@ -96,11 +114,7 @@ func (p Params) NonOverlapFraction(k int) float64 {
 	if t == 0 {
 		return 0
 	}
-	var no sim.Duration
-	for _, v := range p.NonOverlaps(k) {
-		no += v
-	}
-	return float64(no) / float64(t)
+	return float64(p.totalNO(k)) / float64(t)
 }
 
 // PagesForOverlap returns the minimum problem size, in pages, at which the
@@ -117,21 +131,13 @@ func (p Params) PagesForOverlap() int {
 	// binding one under constant parameters). Solve directly, then verify
 	// with the recurrence and adjust for integer effects.
 	k := int(uint64(p.TC)/uint64(p.TA+p.TP)) + 1
-	for k > 1 && totalNO(p, k-1) == 0 {
+	for k > 1 && p.totalNO(k-1) == 0 {
 		k--
 	}
-	for totalNO(p, k) > 0 {
+	for p.totalNO(k) > 0 {
 		k++
 	}
 	return k
-}
-
-func totalNO(p Params, k int) sim.Duration {
-	var sum sim.Duration
-	for _, v := range p.NonOverlaps(k) {
-		sum += v
-	}
-	return sum
 }
 
 // Overall applies Amdahl's Law (Figure 7's third equation): fraction is

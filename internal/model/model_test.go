@@ -102,10 +102,10 @@ func TestPagesForOverlap(t *testing.T) {
 	if k < 299 || k > 303 {
 		t.Fatalf("pages for overlap = %d, want ~301", k)
 	}
-	if totalNO(p, k) != 0 {
+	if p.totalNO(k) != 0 {
 		t.Fatal("reported overlap point still has non-overlap")
 	}
-	if k > 1 && totalNO(p, k-1) == 0 {
+	if k > 1 && p.totalNO(k-1) == 0 {
 		t.Fatal("overlap point is not minimal")
 	}
 }

@@ -40,6 +40,60 @@ func (h *Histogram) Observe(d sim.Duration) {
 	h.sum += d
 }
 
+// HistCheckpoint is a value snapshot of a histogram's contents, used by the
+// stream-folding layer to capture per-period deltas and replay them in
+// closed form. It is a comparable value type: two checkpoints are equal iff
+// the histogram contents were identical.
+type HistCheckpoint struct {
+	buckets [histBuckets]uint64
+	count   uint64
+	sum     sim.Duration
+}
+
+// Checkpoint captures the histogram's current contents. A nil histogram
+// yields the zero checkpoint.
+func (h *Histogram) Checkpoint() HistCheckpoint {
+	if h == nil {
+		return HistCheckpoint{}
+	}
+	return HistCheckpoint{buckets: h.buckets, count: h.count, sum: h.sum}
+}
+
+// Sub returns the element-wise difference c - prev. It is only meaningful
+// when prev was captured from the same histogram at an earlier time.
+func (c HistCheckpoint) Sub(prev HistCheckpoint) HistCheckpoint {
+	d := HistCheckpoint{count: c.count - prev.count, sum: c.sum - prev.sum}
+	for i := range c.buckets {
+		d.buckets[i] = c.buckets[i] - prev.buckets[i]
+	}
+	return d
+}
+
+// AddDelta adds the checkpoint delta d to the histogram times over. The
+// result is exactly what times repetitions of the recorded period would
+// have observed. A nil histogram ignores it.
+func (h *Histogram) AddDelta(d HistCheckpoint, times uint64) {
+	if h == nil || times == 0 {
+		return
+	}
+	for i, c := range d.buckets {
+		h.buckets[i] += c * times
+	}
+	h.count += d.count * times
+	h.sum += d.sum * sim.Duration(times)
+}
+
+// ObserveN records the same duration n times, equivalent to n Observe
+// calls. A nil histogram ignores it.
+func (h *Histogram) ObserveN(d sim.Duration, n uint64) {
+	if h == nil || n == 0 {
+		return
+	}
+	h.buckets[bits.Len64(uint64(d))] += n
+	h.count += n
+	h.sum += d * sim.Duration(n)
+}
+
 // Count reports how many durations have been recorded.
 func (h *Histogram) Count() uint64 {
 	if h == nil {

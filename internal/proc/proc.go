@@ -196,7 +196,7 @@ func (c *CPU) access(addr, size uint64, kind memsys.AccessKind) {
 		c.markCompute(c.now)
 	}
 	t := c.hier.Access(addr, size, kind)
-	hit := c.hier.Config().L1HitTime
+	hit := c.hier.L1HitTime()
 	if kind == memsys.UncachedRead || kind == memsys.UncachedWrite {
 		hit = 0
 	}
@@ -234,7 +234,7 @@ func (c *CPU) bulkAccess(addr, elemBytes, n uint64, kind memsys.AccessKind) {
 	t := c.hier.AccessElems(addr, elemBytes, n, kind)
 	var hitTotal sim.Duration
 	if kind != memsys.UncachedRead && kind != memsys.UncachedWrite {
-		hitTotal = sim.Duration(n) * c.hier.Config().L1HitTime
+		hitTotal = sim.Duration(n) * c.hier.L1HitTime()
 	}
 	if c.tracer != nil && t > hitTotal {
 		c.flushCompute(c.now)
@@ -422,6 +422,92 @@ func (c *CPU) StoreU64Slice(addr uint64, src []uint64) {
 	c.bulkAccess(addr, 8, uint64(len(src)), memsys.Write)
 	c.store.WriteU64Slice(addr, src)
 }
+
+// Stream charges n iterations of a fixed-stride access pattern plus
+// computePerIter instructions per iteration, routing the memory timing
+// through the hierarchy's stream-folding layer. The ledger comes out
+// exactly as the equivalent scalar loop's would — per iteration, each
+// pattern entry as an access (Count == 1) or slice access (Count > 1)
+// followed by Compute(computePerIter); every bucket is a sum, and sums are
+// order-independent — so folding changes wall-clock only, never a
+// measurement. With ForceScalar or tracing on, the scalar loop itself runs,
+// preserving the per-access trace span structure.
+//
+// Stream performs no functional data movement: callers mirror values
+// host-side or move bytes in bulk on the store, exactly as the Active-Page
+// side already does.
+func (c *CPU) Stream(base uint64, stride int64, n uint64, accs []memsys.StreamAcc, computePerIter uint64) {
+	if n == 0 {
+		return
+	}
+	fast := !c.ForceScalar && c.tracer == nil
+	for k := range accs {
+		if accs[k].Kind != memsys.Read && accs[k].Kind != memsys.Write {
+			// The bulk ledger split below assumes every access is cached
+			// (each costs at least L1HitTime); route anything else scalar.
+			fast = false
+		}
+	}
+	if !fast {
+		for i := uint64(0); i < n; i++ {
+			a0 := base + uint64(stride)*i
+			for k := range accs {
+				a := &accs[k]
+				addr := a0 + uint64(a.Off)
+				if a.Count > 1 {
+					c.bulkAccess(addr, a.Size, a.Count, a.Kind)
+				} else {
+					c.access(addr, a.Size, a.Kind)
+				}
+			}
+			if computePerIter > 0 {
+				c.Compute(computePerIter)
+			}
+		}
+		return
+	}
+	t := c.hier.StreamRun(base, stride, n, accs)
+	var perIter, loads uint64
+	for k := range accs {
+		cnt := max(accs[k].Count, 1)
+		perIter += cnt
+		if accs[k].Kind == memsys.Read {
+			loads += cnt
+		}
+	}
+	total := n * perIter
+	hitTotal := sim.Duration(total) * c.hier.L1HitTime()
+	if t < hitTotal {
+		hitTotal = t // cannot happen for cached accesses; defensive
+	}
+	c.now += t
+	c.Stats.ComputeTime += hitTotal
+	c.Stats.MemStallTime += t - hitTotal
+	c.Stats.Instructions += total
+	c.Stats.Loads += n * loads
+	c.Stats.Stores += total - n*loads
+	if computePerIter > 0 {
+		c.Compute(n * computePerIter)
+	}
+}
+
+// StrideStream charges n elemBytes-wide accesses of the given kind at
+// base, base+stride, …, through the stream-folding layer, with
+// computePerIter instructions between accesses. See Stream.
+func (c *CPU) StrideStream(base, elemBytes uint64, stride int64, n uint64, kind memsys.AccessKind, computePerIter uint64) {
+	accs := [1]memsys.StreamAcc{{Size: elemBytes, Count: 1, Kind: kind}}
+	c.Stream(base, stride, n, accs[:], computePerIter)
+}
+
+// TouchLoad charges the timing of a size-byte load whose value the caller
+// mirrors host-side: identical hierarchy traffic and ledger to LoadU32 and
+// friends, with the functional store read elided.
+func (c *CPU) TouchLoad(addr, size uint64) { c.access(addr, size, memsys.Read) }
+
+// TouchStore charges the timing of a size-byte store whose bytes the
+// caller moves in bulk on the store afterwards: identical hierarchy traffic
+// and ledger to StoreU32 and friends, with the functional write elided.
+func (c *CPU) TouchStore(addr, size uint64) { c.access(addr, size, memsys.Write) }
 
 // ReadBlockU32 loads a block of 32-bit values charged as one block read
 // (like ReadBlock: a single multi-line access) and decoded in one pass.

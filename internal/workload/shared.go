@@ -1,0 +1,81 @@
+// Shared, memoized workload instances. The harness runs every benchmark at
+// many problem sizes, twice per size (conventional and RADram) and more
+// under sweeps, and the generators are deterministic — the same arguments
+// always produce the same bytes. Memoizing them removes repeated generation
+// from the measured wall-clock without touching anything simulated.
+//
+// Everything returned from the Shared* functions is SHARED AND READ-ONLY:
+// callers must copy (e.g. into the simulated store, which always copies)
+// rather than mutate. The maps are guarded for the parallel harness.
+package workload
+
+import "sync"
+
+var (
+	sharedMu      sync.Mutex
+	sharedBooks   map[bookKey][]byte
+	sharedImages  map[imageKey]*Image
+	sharedMedians map[imageKey]*Image
+)
+
+type bookKey struct {
+	seed int64
+	n    int
+}
+
+type imageKey struct {
+	seed int64
+	w, h int
+}
+
+// SharedAddressBook is a memoized AddressBook. The returned image is shared:
+// treat it as read-only.
+func SharedAddressBook(seed int64, n int) []byte {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	k := bookKey{seed, n}
+	if b, ok := sharedBooks[k]; ok {
+		return b
+	}
+	if sharedBooks == nil {
+		sharedBooks = make(map[bookKey][]byte)
+	}
+	b := AddressBook(seed, n)
+	sharedBooks[k] = b
+	return b
+}
+
+// SharedImage is a memoized NewImage. The returned image is shared: treat it
+// as read-only.
+func SharedImage(seed int64, w, h int) *Image {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	k := imageKey{seed, w, h}
+	if im, ok := sharedImages[k]; ok {
+		return im
+	}
+	if sharedImages == nil {
+		sharedImages = make(map[imageKey]*Image)
+	}
+	im := NewImage(seed, w, h)
+	sharedImages[k] = im
+	return im
+}
+
+// SharedMedianReference is the memoized MedianReference of SharedImage(seed,
+// w, h). The returned image is shared: treat it as read-only.
+func SharedMedianReference(seed int64, w, h int) *Image {
+	im := SharedImage(seed, w, h)
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	k := imageKey{seed, w, h}
+	if ref, ok := sharedMedians[k]; ok {
+		return ref
+	}
+	if sharedMedians == nil {
+		sharedMedians = make(map[imageKey]*Image)
+	}
+	ref := im.MedianReference()
+	sharedMedians[k] = ref
+	return ref
+}
