@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench microbench quickbench paper clean
+.PHONY: all build test race vet bench microbench quickbench loadtest paper clean
 
 all: build test
 
@@ -34,6 +34,17 @@ quickbench:
 	$(GO) build -o /tmp/apbench-quickbench ./cmd/apbench
 	@s=$$(date +%s%N); /tmp/apbench-quickbench -experiment all -quick -jobs 1 > /dev/null; \
 	e=$$(date +%s%N); echo "quick run: $$(( (e-s)/1000000 )) ms"
+
+# Boot the daemon, drive it with the load generator, and shut it down:
+# one-command smoke of the serve stack plus a tail-latency summary.
+loadtest:
+	$(GO) build -o /tmp/apserved ./cmd/apserved
+	$(GO) build -o /tmp/apload ./cmd/apload
+	@/tmp/apserved -addr 127.0.0.1:8098 -workers 2 2> /tmp/apserved-loadtest.log & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do curl -sf http://127.0.0.1:8098/healthz > /dev/null && break; sleep 0.2; done; \
+	/tmp/apload -addr http://127.0.0.1:8098 -n 50 -c 8 -experiment array -quick; rc=$$?; \
+	kill -TERM $$pid; wait $$pid; exit $$rc
 
 # Regenerate every table and figure of the paper's evaluation.
 paper:

@@ -44,14 +44,7 @@ import (
 	"activepages/internal/radram"
 	"activepages/internal/report"
 	"activepages/internal/run"
-	"activepages/internal/tabler"
 )
-
-// allExperiments names every composite experiment, in the order
-// -experiment all runs them. Usage output and the unknown-experiment
-// error enumerate the same list, so the three can never drift apart.
-var allExperiments = []string{"table1", "table2", "table3", "fig3", "fig4",
-	"table4", "crossover", "fig5", "fig8", "fig9", "smp", "ablations"}
 
 func main() {
 	if err := realMain(); err != nil {
@@ -85,7 +78,7 @@ func realMain() error {
 		w := flag.CommandLine.Output()
 		fmt.Fprintf(w, "Usage: %s [flags]\n\n", filepath.Base(os.Args[0]))
 		fmt.Fprintf(w, "-experiment accepts a composite experiment:\n  all %s\n",
-			strings.Join(allExperiments, " "))
+			strings.Join(experiments.All, " "))
 		fmt.Fprintf(w, "or a single benchmark name, which sweeps that benchmark alone over\nthe problem-size axis:\n  %s\n\n",
 			strings.Join(experiments.BenchmarkNames(), " "))
 		fmt.Fprintln(w, "Flags:")
@@ -129,7 +122,8 @@ func realMain() error {
 	if *jsonOut || *reportOut {
 		r.WithMetrics()
 	}
-	if err := runExperiment(r, *experiment, cfg, points, *regions, *l2, *csvDir); err != nil {
+	opt := experiments.Options{Regions: *regions, L2: *l2, CSVDir: *csvDir}
+	if err := experiments.Dispatch(os.Stdout, r, *experiment, cfg, points, opt); err != nil {
 		return err
 	}
 	if *reportOut {
@@ -193,166 +187,5 @@ func writeTrace(path, bench string, cfg radram.Config, pages float64) error {
 	}
 	fmt.Fprintf(os.Stderr, "apbench: wrote %d trace events (%d dropped) to %s\n",
 		convTr.Len()+radTr.Len(), convTr.Dropped()+radTr.Dropped(), path)
-	return nil
-}
-
-// writeCSV saves a figure to dir/name.csv when dir is set, creating the
-// parent directories as needed.
-func writeCSV(dir, name string, f *tabler.Figure) error {
-	if dir == "" {
-		return nil
-	}
-	path := filepath.Join(dir, name+".csv")
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return fmt.Errorf("writing %s: %w", path, err)
-	}
-	if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
-		return fmt.Errorf("writing %s: %w", path, err)
-	}
-	return nil
-}
-
-func runExperiment(r *run.Runner, experiment string, cfg radram.Config, points []float64, regions, l2 bool, csvDir string) error {
-	out := os.Stdout
-	switch experiment {
-	case "table1":
-		experiments.Table1(cfg).WriteTo(out)
-	case "table2":
-		experiments.Table2().WriteTo(out)
-	case "table3":
-		experiments.Table3().WriteTo(out)
-	case "table4":
-		rows, err := experiments.Table4(r, cfg, 16, points)
-		if err != nil {
-			return err
-		}
-		experiments.RenderTable4(rows).WriteTo(out)
-	case "fig3", "fig4":
-		sweeps, err := experiments.RunAllSweeps(r, cfg, points)
-		if err != nil {
-			return err
-		}
-		if experiment == "fig3" {
-			f := experiments.Figure3(sweeps)
-			f.WriteTo(out)
-			if err := writeCSV(csvDir, "fig3", f); err != nil {
-				return err
-			}
-			if regions {
-				for _, s := range sweeps {
-					fmt.Fprintf(out, "%s regions: %v\n", s.Benchmark, s.Regions())
-				}
-			}
-		} else {
-			f := experiments.Figure4(sweeps)
-			f.WriteTo(out)
-			if err := writeCSV(csvDir, "fig4", f); err != nil {
-				return err
-			}
-		}
-	case "fig5":
-		level, sizes := "L1D", experiments.DefaultL1Sizes()
-		if l2 {
-			level, sizes = "L2", experiments.DefaultL2Sizes()
-		}
-		names := []string{"database", "median-kernel", "median-total", "array", "dynamic-prog"}
-		conv, rad, err := experiments.CacheSweep(r, names, cfg, level, sizes, 16)
-		if err != nil {
-			return err
-		}
-		conv.WriteTo(out)
-		fmt.Fprintln(out)
-		rad.WriteTo(out)
-		if err := writeCSV(csvDir, "fig5-conventional", conv); err != nil {
-			return err
-		}
-		if err := writeCSV(csvDir, "fig5-radram", rad); err != nil {
-			return err
-		}
-	case "fig8":
-		f, err := experiments.MissLatencySweep(r, cfg, experiments.DefaultMissLatencies(), 16)
-		if err != nil {
-			return err
-		}
-		f.WriteTo(out)
-		if err := writeCSV(csvDir, "fig8", f); err != nil {
-			return err
-		}
-	case "fig9":
-		f, err := experiments.LogicSpeedSweep(r, cfg, experiments.DefaultLogicDivisors(), 16)
-		if err != nil {
-			return err
-		}
-		f.WriteTo(out)
-		if err := writeCSV(csvDir, "fig9", f); err != nil {
-			return err
-		}
-	case "crossover":
-		rows, err := experiments.CrossoverStudy(r, cfg, 16, points)
-		if err != nil {
-			return err
-		}
-		end := points[len(points)-1]
-		experiments.RenderCrossover(rows, end).WriteTo(out)
-	case "smp":
-		f, err := experiments.SMPStudy(r, cfg, 32, []int{1, 2, 4, 8})
-		if err != nil {
-			return err
-		}
-		f.WriteTo(out)
-	case "ablations":
-		a1, err := experiments.AblationActivation(r, cfg, 16)
-		if err != nil {
-			return err
-		}
-		a1.WriteTo(out)
-		a2, err := experiments.AblationInterPage(r, cfg, 16)
-		if err != nil {
-			return err
-		}
-		a2.WriteTo(out)
-		a3, err := experiments.AblationBind(r, cfg, 16)
-		if err != nil {
-			return err
-		}
-		a3.WriteTo(out)
-		a4, err := experiments.AblationPageSize(r, 4*1024*1024)
-		if err != nil {
-			return err
-		}
-		a4.WriteTo(out)
-		a5, err := experiments.AblationMMXWidth(r, cfg, 16)
-		if err != nil {
-			return err
-		}
-		a5.WriteTo(out)
-		experiments.SwapCost(radram.DefaultConfig()).WriteTo(out)
-		experiments.PagingStudy(r, 8, 3500).WriteTo(out)
-	case "all":
-		for _, e := range allExperiments {
-			fmt.Fprintf(out, "\n##### %s #####\n", e)
-			if err := runExperiment(r, e, cfg, points, regions, l2, csvDir); err != nil {
-				return err
-			}
-		}
-	default:
-		// Any benchmark name is an experiment: sweep that benchmark alone
-		// over the problem-size axis.
-		b, berr := experiments.BenchmarkByName(experiment)
-		if berr != nil {
-			return fmt.Errorf("unknown experiment %q (want all, %s, or a benchmark: %s)",
-				experiment, strings.Join(allExperiments, ", "),
-				strings.Join(experiments.BenchmarkNames(), ", "))
-		}
-		s, err := experiments.RunSweep(r, b, cfg, points)
-		if err != nil {
-			return err
-		}
-		f := experiments.Figure3([]*experiments.Sweep{s})
-		f.WriteTo(out)
-		if err := writeCSV(csvDir, experiment, f); err != nil {
-			return err
-		}
-	}
 	return nil
 }

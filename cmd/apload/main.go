@@ -1,0 +1,181 @@
+// Command apload load-tests an apserved daemon: it submits n runs of one
+// experiment across c concurrent clients, polls each to completion, and
+// prints a tail-latency summary of the end-to-end run lifecycle
+// (submit -> done) plus the raw HTTP request latencies.
+//
+// Usage:
+//
+//	apload -addr http://127.0.0.1:8080 -n 50 -c 8 -experiment array -quick
+//
+// The exit status is nonzero if any submission is rejected, any run fails,
+// or any poll errors — so CI can use apload as a smoke gate on the daemon.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	if err := realMain(); err != nil {
+		fmt.Fprintln(os.Stderr, "apload:", err)
+		os.Exit(1)
+	}
+}
+
+// runResult is one submission's end-to-end outcome.
+type runResult struct {
+	id      string
+	err     error
+	elapsed time.Duration // submit -> observed done
+}
+
+func realMain() error {
+	var (
+		addr       = flag.String("addr", "http://127.0.0.1:8080", "apserved base URL")
+		n          = flag.Int("n", 50, "total runs to submit")
+		c          = flag.Int("c", 8, "concurrent clients")
+		experiment = flag.String("experiment", "array", "experiment to submit")
+		quick      = flag.Bool("quick", true, "submit quick (short-axis) runs")
+		poll       = flag.Duration("poll", 50*time.Millisecond, "status poll interval")
+		timeout    = flag.Duration("timeout", 5*time.Minute, "per-run completion deadline")
+	)
+	flag.Parse()
+
+	body, err := json.Marshal(map[string]any{"experiment": *experiment, "quick": *quick})
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Shed-aware submission: a 503 (queue full) retries with backoff rather
+	// than failing, since load shedding is the daemon working as designed;
+	// any other non-202 is a hard failure.
+	submit := func() (string, error) {
+		backoff := *poll
+		for {
+			resp, err := client.Post(*addr+"/api/v1/runs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return "", err
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				var run struct {
+					ID string `json:"id"`
+				}
+				if err := json.Unmarshal(data, &run); err != nil || run.ID == "" {
+					return "", fmt.Errorf("bad submit response: %s", data)
+				}
+				return run.ID, nil
+			case http.StatusServiceUnavailable:
+				time.Sleep(backoff)
+				if backoff < time.Second {
+					backoff *= 2
+				}
+			default:
+				return "", fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+			}
+		}
+	}
+
+	wait := func(id string) error {
+		deadline := time.Now().Add(*timeout)
+		for time.Now().Before(deadline) {
+			resp, err := client.Get(*addr + "/api/v1/runs/" + id)
+			if err != nil {
+				return err
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("poll %s: HTTP %d: %s", id, resp.StatusCode, strings.TrimSpace(string(data)))
+			}
+			var run struct {
+				State string `json:"state"`
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(data, &run); err != nil {
+				return fmt.Errorf("poll %s: %w", id, err)
+			}
+			switch run.State {
+			case "done":
+				return nil
+			case "failed":
+				return fmt.Errorf("run %s failed: %s", id, run.Error)
+			}
+			time.Sleep(*poll)
+		}
+		return fmt.Errorf("run %s did not finish within %s", id, *timeout)
+	}
+
+	fmt.Printf("apload: %d x %q (quick=%v) across %d clients against %s\n",
+		*n, *experiment, *quick, *c, *addr)
+	start := time.Now()
+	results := make([]runResult, *n)
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := int(next)
+				next++
+				mu.Unlock()
+				if i >= *n {
+					return
+				}
+				t0 := time.Now()
+				id, err := submit()
+				if err == nil {
+					err = wait(id)
+				}
+				results[i] = runResult{id: id, err: err, elapsed: time.Since(t0)}
+			}
+		}()
+	}
+	wg.Wait()
+	total := time.Since(start)
+
+	var failed int
+	latencies := make([]time.Duration, 0, *n)
+	for _, r := range results {
+		if r.err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "apload: %v\n", r.err)
+			continue
+		}
+		latencies = append(latencies, r.elapsed)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	q := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	fmt.Printf("apload: %d ok, %d failed in %s (%.1f runs/s)\n",
+		len(latencies), failed, total.Round(time.Millisecond),
+		float64(len(latencies))/total.Seconds())
+	fmt.Printf("apload: submit->done latency p50=%s p90=%s p99=%s max=%s\n",
+		q(0.50).Round(time.Millisecond), q(0.90).Round(time.Millisecond),
+		q(0.99).Round(time.Millisecond), q(1.0).Round(time.Millisecond))
+	if failed > 0 {
+		return fmt.Errorf("%d/%d runs failed", failed, *n)
+	}
+	return nil
+}

@@ -6,6 +6,7 @@
 //	apreport run.txt                  # bottleneck attribution of one run
 //	apreport old.txt new.txt          # per-metric diff of two runs
 //	apreport -all old.txt new.txt     # include unchanged metrics
+//	apreport -tol 0 base.txt new.txt  # CI gate: exit 1 on any change
 //
 // Each input may be either a raw metrics-snapshot JSON object or full
 // apbench stdout (apreport finds the JSON after the "##### metrics (json)
@@ -13,6 +14,13 @@
 // histograms of that run; with two it prints every metric whose value
 // changed between them. A file that cannot be parsed is a hard error, so
 // CI can use apreport as a round-trip check on apbench's JSON output.
+//
+// -tol turns the two-file diff into a regression gate: every metric of the
+// baseline (first file) whose relative change in the second file exceeds
+// the tolerance percentage is listed, and the exit status is nonzero when
+// any metric is out of tolerance. Metrics present only in the new file —
+// added instrumentation — never trip the gate. The simulator is
+// deterministic, so -tol 0 pins the metrics trajectory exactly.
 package main
 
 import (
@@ -33,6 +41,7 @@ func main() {
 
 func realMain() error {
 	all := flag.Bool("all", false, "with two files: include unchanged metrics in the diff")
+	tol := flag.Float64("tol", -1, "with two files: exit nonzero when any baseline metric changed by more than this percentage (negative disables)")
 	flag.Parse()
 
 	args := flag.Args()
@@ -56,6 +65,18 @@ func realMain() error {
 		_, err := r.WriteTo(os.Stdout)
 		return err
 	}
-	_, err := report.Diff(snaps[0], snaps[1], !*all).WriteTo(os.Stdout)
-	return err
+	if _, err := report.Diff(snaps[0], snaps[1], !*all).WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	if *tol >= 0 {
+		if v := report.OutOfTolerance(snaps[0], snaps[1], *tol); len(v) > 0 {
+			fmt.Printf("\n%d metric(s) out of tolerance (%g%%):\n", len(v), *tol)
+			for _, x := range v {
+				fmt.Printf("  %s\n", x)
+			}
+			return fmt.Errorf("metrics regressed beyond -tol %g", *tol)
+		}
+		fmt.Printf("\nall baseline metrics within tolerance (%g%%)\n", *tol)
+	}
+	return nil
 }

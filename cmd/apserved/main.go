@@ -1,0 +1,80 @@
+// Command apserved is the Active Pages run-registry daemon: a long-running
+// HTTP service that executes apbench experiments on demand and exposes
+// live metrics while they run.
+//
+// Usage:
+//
+//	apserved -addr 127.0.0.1:8080 -workers 2 -queue 16
+//
+// API:
+//
+//	GET  /healthz                   liveness (503 while draining)
+//	GET  /metrics                   Prometheus text exposition: live service
+//	                                metrics, the aggregate of every completed
+//	                                run under run_*, and Go process metrics
+//	POST /api/v1/runs               submit {"experiment":"array","quick":true};
+//	                                202 + run JSON, 503 when the queue is full
+//	GET  /api/v1/runs               list all runs with per-state counts
+//	GET  /api/v1/runs/{id}          one run's lifecycle JSON
+//	GET  /api/v1/runs/{id}/output   the run's rendered tables (apbench stdout)
+//	GET  /api/v1/runs/{id}/metrics  the run's metrics snapshot JSON
+//	GET  /api/v1/runs/{id}/report   the run's bottleneck attribution report
+//
+// Logs are JSON (log/slog) on stderr: one access line per request and one
+// lifecycle line per run transition. SIGINT/SIGTERM shut down gracefully:
+// the listener closes, in-flight runs finish (bounded by -runtimeout), and
+// still-queued runs are marked failed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"activepages/internal/serve"
+)
+
+func main() {
+	if err := realMain(); err != nil {
+		fmt.Fprintln(os.Stderr, "apserved:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain() error {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers    = flag.Int("workers", 2, "concurrent experiment runs")
+		queue      = flag.Int("queue", 16, "accepted runs that may wait for a worker")
+		runTimeout = flag.Duration("runtimeout", 10*time.Minute, "per-run wall-clock budget")
+		jobs       = flag.Int("jobs", runtime.NumCPU(), "simulation worker-pool width inside each run")
+		logLevel   = flag.String("loglevel", "info", "log level: debug, info, warn, error")
+	)
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -loglevel: %w", err)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+
+	s := serve.New(serve.Config{
+		Addr:       *addr,
+		Workers:    *workers,
+		QueueDepth: *queue,
+		RunTimeout: *runTimeout,
+		JobsPerRun: *jobs,
+		Logger:     logger,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return s.ListenAndServe(ctx)
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"activepages/internal/radram"
+	"activepages/internal/run"
+	"activepages/internal/tabler"
+)
+
+// All names every composite experiment, in the order "all" runs them.
+// apbench's usage text, its unknown-experiment error, and the serve API's
+// validation all enumerate this one list, so they can never drift apart.
+var All = []string{"table1", "table2", "table3", "fig3", "fig4",
+	"table4", "crossover", "fig5", "fig8", "fig9", "smp", "ablations"}
+
+// Options carries the presentation knobs of a dispatched experiment.
+type Options struct {
+	// Regions prints the Figure 1 region classification after fig3.
+	Regions bool
+	// L2 makes fig5 sweep the L2 instead of the L1D.
+	L2 bool
+	// CSVDir, when set, also writes each figure as CSV into the directory.
+	CSVDir string
+}
+
+// IsKnown reports whether name is a dispatchable experiment: "all", a
+// composite experiment, or a benchmark name.
+func IsKnown(name string) bool {
+	if name == "all" {
+		return true
+	}
+	for _, e := range All {
+		if e == name {
+			return true
+		}
+	}
+	_, err := BenchmarkByName(name)
+	return err == nil
+}
+
+// writeCSV saves a figure to dir/name.csv when dir is set, creating the
+// parent directories as needed.
+func writeCSV(dir, name string, f *tabler.Figure) error {
+	if dir == "" {
+		return nil
+	}
+	path := filepath.Join(dir, name+".csv")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Dispatch runs one named experiment — a composite experiment, "all", or a
+// single benchmark name (which sweeps that benchmark over the problem-size
+// axis) — rendering its tables to out. It is the single entry point shared
+// by the apbench CLI and the apserved daemon; out receives exactly what
+// apbench historically printed to stdout.
+func Dispatch(out io.Writer, r *run.Runner, experiment string, cfg radram.Config, points []float64, opt Options) error {
+	switch experiment {
+	case "table1":
+		Table1(cfg).WriteTo(out)
+	case "table2":
+		Table2().WriteTo(out)
+	case "table3":
+		Table3().WriteTo(out)
+	case "table4":
+		rows, err := Table4(r, cfg, 16, points)
+		if err != nil {
+			return err
+		}
+		RenderTable4(rows).WriteTo(out)
+	case "fig3", "fig4":
+		sweeps, err := RunAllSweeps(r, cfg, points)
+		if err != nil {
+			return err
+		}
+		if experiment == "fig3" {
+			f := Figure3(sweeps)
+			f.WriteTo(out)
+			if err := writeCSV(opt.CSVDir, "fig3", f); err != nil {
+				return err
+			}
+			if opt.Regions {
+				for _, s := range sweeps {
+					fmt.Fprintf(out, "%s regions: %v\n", s.Benchmark, s.Regions())
+				}
+			}
+		} else {
+			f := Figure4(sweeps)
+			f.WriteTo(out)
+			if err := writeCSV(opt.CSVDir, "fig4", f); err != nil {
+				return err
+			}
+		}
+	case "fig5":
+		level, sizes := "L1D", DefaultL1Sizes()
+		if opt.L2 {
+			level, sizes = "L2", DefaultL2Sizes()
+		}
+		names := []string{"database", "median-kernel", "median-total", "array", "dynamic-prog"}
+		conv, rad, err := CacheSweep(r, names, cfg, level, sizes, 16)
+		if err != nil {
+			return err
+		}
+		conv.WriteTo(out)
+		fmt.Fprintln(out)
+		rad.WriteTo(out)
+		if err := writeCSV(opt.CSVDir, "fig5-conventional", conv); err != nil {
+			return err
+		}
+		if err := writeCSV(opt.CSVDir, "fig5-radram", rad); err != nil {
+			return err
+		}
+	case "fig8":
+		f, err := MissLatencySweep(r, cfg, DefaultMissLatencies(), 16)
+		if err != nil {
+			return err
+		}
+		f.WriteTo(out)
+		if err := writeCSV(opt.CSVDir, "fig8", f); err != nil {
+			return err
+		}
+	case "fig9":
+		f, err := LogicSpeedSweep(r, cfg, DefaultLogicDivisors(), 16)
+		if err != nil {
+			return err
+		}
+		f.WriteTo(out)
+		if err := writeCSV(opt.CSVDir, "fig9", f); err != nil {
+			return err
+		}
+	case "crossover":
+		rows, err := CrossoverStudy(r, cfg, 16, points)
+		if err != nil {
+			return err
+		}
+		end := points[len(points)-1]
+		RenderCrossover(rows, end).WriteTo(out)
+	case "smp":
+		f, err := SMPStudy(r, cfg, 32, []int{1, 2, 4, 8})
+		if err != nil {
+			return err
+		}
+		f.WriteTo(out)
+	case "ablations":
+		a1, err := AblationActivation(r, cfg, 16)
+		if err != nil {
+			return err
+		}
+		a1.WriteTo(out)
+		a2, err := AblationInterPage(r, cfg, 16)
+		if err != nil {
+			return err
+		}
+		a2.WriteTo(out)
+		a3, err := AblationBind(r, cfg, 16)
+		if err != nil {
+			return err
+		}
+		a3.WriteTo(out)
+		a4, err := AblationPageSize(r, 4*1024*1024)
+		if err != nil {
+			return err
+		}
+		a4.WriteTo(out)
+		a5, err := AblationMMXWidth(r, cfg, 16)
+		if err != nil {
+			return err
+		}
+		a5.WriteTo(out)
+		SwapCost(radram.DefaultConfig()).WriteTo(out)
+		PagingStudy(r, 8, 3500).WriteTo(out)
+	case "all":
+		for _, e := range All {
+			fmt.Fprintf(out, "\n##### %s #####\n", e)
+			if err := Dispatch(out, r, e, cfg, points, opt); err != nil {
+				return err
+			}
+		}
+	default:
+		// Any benchmark name is an experiment: sweep that benchmark alone
+		// over the problem-size axis.
+		b, berr := BenchmarkByName(experiment)
+		if berr != nil {
+			return fmt.Errorf("unknown experiment %q (want all, %s, or a benchmark: %s)",
+				experiment, strings.Join(All, ", "),
+				strings.Join(BenchmarkNames(), ", "))
+		}
+		s, err := RunSweep(r, b, cfg, points)
+		if err != nil {
+			return err
+		}
+		f := Figure3([]*Sweep{s})
+		f.WriteTo(out)
+		if err := writeCSV(opt.CSVDir, experiment, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
-package main
+package experiments
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -49,5 +50,37 @@ func TestWriteCSVReportsWriteError(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "fig.csv") {
 		t.Fatalf("error should name the target file, got: %v", err)
+	}
+}
+
+func TestIsKnown(t *testing.T) {
+	for _, name := range append([]string{"all", "array", "median-total"}, All...) {
+		if !IsKnown(name) {
+			t.Errorf("IsKnown(%q) = false, want true", name)
+		}
+	}
+	for _, name := range []string{"", "fig99", "bogus"} {
+		if IsKnown(name) {
+			t.Errorf("IsKnown(%q) = true, want false", name)
+		}
+	}
+}
+
+func TestDispatchUnknownExperiment(t *testing.T) {
+	err := Dispatch(io.Discard, nil, "bogus", DefaultConfig(), QuickPagePoints(), Options{})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("want unknown-experiment error, got %v", err)
+	}
+}
+
+// TestDispatchBenchmarkSweep smoke-runs the smallest real dispatch path and
+// checks the rendered figure reaches the writer.
+func TestDispatchBenchmarkSweep(t *testing.T) {
+	var b strings.Builder
+	if err := Dispatch(&b, nil, "array", DefaultConfig(), []float64{0.5}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "array") {
+		t.Fatalf("dispatch output missing benchmark series:\n%s", b.String())
 	}
 }

@@ -57,13 +57,25 @@ type StreamAcc struct {
 	Kind  AccessKind
 }
 
-// FoldStats counts the folding layer's decisions. Diagnostic only.
+// FoldStats counts the folding layer's decisions. Diagnostic only: the
+// counters are registered in the snapshot's "diag." namespace (see
+// Hierarchy.Observe), which the fast-vs-reference equivalence checks
+// exclude — a folding run must count differently from a scalar one here
+// while every simulated observable stays identical.
 type FoldStats struct {
 	Streams       uint64 // StreamRun invocations
 	Folded        uint64 // invocations that fast-forwarded at least one period
 	FoldedPeriods uint64
 	FoldedIters   uint64 // iterations skipped by folding
 	ScalarIters   uint64 // iterations simulated scalar (incl. warm-up and tails)
+
+	// Fallback classification: one increment per StreamRun invocation that
+	// could not fold, by the first disqualifier hit.
+	FallbackIneligible uint64 // Reference/tracing mode, zero or huge stride, non-pow2 sets, uncacheable kind
+	FallbackShort      uint64 // too few whole periods for warm-up plus verification
+	FallbackWrap       uint64 // footprint could wrap the 2^64 address space
+	FallbackUnverified uint64 // warm-up exhausted without verifying periodicity
+	FallbackGuard      uint64 // verified, but the DRAM fresh-subarray guard (or a short remainder) left no whole period to skip
 }
 
 const (
@@ -205,15 +217,23 @@ func (h *Hierarchy) StreamRun(base uint64, stride int64, n uint64, accs []Stream
 		return 0
 	}
 	if !h.foldEligible(stride, accs) {
+		h.Folds.FallbackIneligible++
 		h.Folds.ScalarIters += n
 		return h.streamScalar(base, stride, 0, n, accs)
 	}
 	P, delta, ok := h.foldPeriod(stride)
-	if !ok || n/P < foldMinPeriods || !foldNoWrap(base, stride, n, accs) {
-		h.Folds.ScalarIters += n
-		return h.streamScalar(base, stride, 0, n, accs)
+	switch {
+	case !ok:
+		h.Folds.FallbackIneligible++
+	case n/P < foldMinPeriods:
+		h.Folds.FallbackShort++
+	case !foldNoWrap(base, stride, n, accs):
+		h.Folds.FallbackWrap++
+	default:
+		return h.streamFold(base, stride, n, accs, P, delta)
 	}
-	return h.streamFold(base, stride, n, accs, P, delta)
+	h.Folds.ScalarIters += n
+	return h.streamScalar(base, stride, 0, n, accs)
 }
 
 // streamScalar simulates iterations [from, to) on the exact scalar path.
@@ -551,7 +571,11 @@ func (h *Hierarchy) streamFold(base uint64, stride int64, n uint64, accs []Strea
 			h.Folds.Folded++
 			h.Folds.FoldedPeriods += M
 			h.Folds.FoldedIters += M * P
+		} else {
+			h.Folds.FallbackGuard++
 		}
+	} else {
+		h.Folds.FallbackUnverified++
 	}
 	h.Folds.ScalarIters += n - iter
 	total += h.streamScalar(base, stride, iter, n, accs)

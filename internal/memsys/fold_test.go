@@ -12,11 +12,13 @@ import (
 // snapshotJSON captures every observable the hierarchy registers — counters,
 // timers, and full histogram contents — as deterministic JSON, so two
 // hierarchies can be compared snapshot-exact, not just measurement-exact.
+// Diagnostic ("diag.") counters are stripped: they record which pipeline
+// ran, so a folding and a reference hierarchy legitimately differ there.
 func snapshotJSON(t *testing.T, h *Hierarchy) []byte {
 	t.Helper()
 	r := obs.New()
 	h.Observe(r, "mem")
-	j, err := r.Snapshot().JSON()
+	j, err := r.Snapshot().WithoutDiag().JSON()
 	if err != nil {
 		t.Fatalf("snapshot: %v", err)
 	}
@@ -286,4 +288,45 @@ func BenchmarkStreamLineRuns(b *testing.B) {
 			_ = h.StreamRun(1<<20, 2, 2048, accs)
 		}
 	})
+}
+
+// TestFoldDiagCounters checks the engagement accounting: every StreamRun
+// invocation is classified exactly once (folded or one fallback reason),
+// the counters surface in the snapshot's diagnostic namespace, and
+// WithoutDiag strips them.
+func TestFoldDiagCounters(t *testing.T) {
+	h := New(DefaultConfig())
+	h.StrideStream(0, 8, 65536, 20000, Read)           // long, short-period stride: folds
+	h.StrideStream(0, 8, 7, 5000, Read)                // odd stride: enormous period
+	h.StrideStream(0, 8, 8, 3, Read)                   // too short
+	h.StrideStream(^uint64(0)-64, 8, 8192, 4096, Read) // would wrap
+	h.StrideStream(0, 8, 0, 100, Read)                 // zero stride: ineligible
+
+	f := h.Folds
+	if f.Folded == 0 {
+		t.Fatalf("long pow2 stream did not fold: %+v", f)
+	}
+	classified := f.Folded + f.FallbackIneligible + f.FallbackShort +
+		f.FallbackWrap + f.FallbackUnverified + f.FallbackGuard
+	if f.Streams != 5 || classified != f.Streams {
+		t.Errorf("classification does not cover every stream: %+v", f)
+	}
+
+	r := obs.New()
+	h.Observe(r, "mem")
+	s := r.Snapshot()
+	if got := s["mem.diag.fold_engaged"]; got != int64(f.Folded) {
+		t.Errorf("mem.diag.fold_engaged = %d, want %d", got, f.Folded)
+	}
+	if got := s["mem.diag.fold_streams"]; got != int64(f.Streams) {
+		t.Errorf("mem.diag.fold_streams = %d, want %d", got, f.Streams)
+	}
+	for _, k := range s.WithoutDiag().Names() {
+		if obs.IsDiag(k) {
+			t.Errorf("WithoutDiag kept diagnostic key %s", k)
+		}
+	}
+	if _, ok := s.WithoutDiag()["mem.diag.fold_streams"]; ok {
+		t.Error("WithoutDiag kept fold_streams")
+	}
 }

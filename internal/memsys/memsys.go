@@ -160,6 +160,21 @@ func (h *Hierarchy) Observe(r *obs.Registry, prefix string) {
 	r.Counter(prefix+".uncached_accesses", func() uint64 { return h.UncachedAccesses })
 	r.Histogram(prefix+".fill", h.fillHist)
 	r.Histogram(prefix+".uncached", h.uncachedHist)
+	// Stream-fold engagement counters, in the diagnostic namespace: they
+	// describe which simulation pipeline ran, not the simulated machine,
+	// so the equivalence tests exclude them (obs.Snapshot.WithoutDiag)
+	// while -json snapshots and /metrics expose them.
+	d := prefix + "." + obs.DiagPrefix
+	r.Counter(d+"fold_streams", func() uint64 { return h.Folds.Streams })
+	r.Counter(d+"fold_engaged", func() uint64 { return h.Folds.Folded })
+	r.Counter(d+"fold_folded_periods", func() uint64 { return h.Folds.FoldedPeriods })
+	r.Counter(d+"fold_folded_iters", func() uint64 { return h.Folds.FoldedIters })
+	r.Counter(d+"fold_scalar_iters", func() uint64 { return h.Folds.ScalarIters })
+	r.Counter(d+"fold_fallback_ineligible", func() uint64 { return h.Folds.FallbackIneligible })
+	r.Counter(d+"fold_fallback_short", func() uint64 { return h.Folds.FallbackShort })
+	r.Counter(d+"fold_fallback_wrap", func() uint64 { return h.Folds.FallbackWrap })
+	r.Counter(d+"fold_fallback_unverified", func() uint64 { return h.Folds.FallbackUnverified })
+	r.Counter(d+"fold_fallback_guard", func() uint64 { return h.Folds.FallbackGuard })
 	h.L1I.Observe(r, prefix+".l1i")
 	h.L1D.Observe(r, prefix+".l1d")
 	h.L2.Observe(r, prefix+".l2")

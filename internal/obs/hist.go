@@ -30,12 +30,15 @@ type Histogram struct {
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram { return &Histogram{} }
 
+// bucketOf maps a duration to its log2 bucket index.
+func bucketOf(d sim.Duration) int { return bits.Len64(uint64(d)) }
+
 // Observe records one duration. A nil histogram ignores it.
 func (h *Histogram) Observe(d sim.Duration) {
 	if h == nil {
 		return
 	}
-	h.buckets[bits.Len64(uint64(d))]++
+	h.buckets[bucketOf(d)]++
 	h.count++
 	h.sum += d
 }
@@ -188,16 +191,25 @@ const (
 
 // fold adds the histogram's buckets to snapshot s under name.
 func (h *Histogram) fold(s Snapshot, name string) {
-	if h == nil || h.count == 0 {
+	if h == nil {
 		return
 	}
-	for i, c := range h.buckets {
-		if c > 0 {
-			s[fmt.Sprintf("%s%s%02d", name, histBucketInfix, i)] += int64(c)
+	h.Checkpoint().fold(s, name)
+}
+
+// fold adds the checkpoint's buckets to snapshot s under name. Empty
+// checkpoints contribute no keys.
+func (c HistCheckpoint) fold(s Snapshot, name string) {
+	if c.count == 0 {
+		return
+	}
+	for i, n := range c.buckets {
+		if n > 0 {
+			s[fmt.Sprintf("%s%s%02d", name, histBucketInfix, i)] += int64(n)
 		}
 	}
-	s[name+histCountSuffix] += int64(h.count)
-	s[name+histSumSuffix] += int64(h.sum / sim.Nanosecond)
+	s[name+histCountSuffix] += int64(c.count)
+	s[name+histSumSuffix] += int64(c.sum / sim.Nanosecond)
 }
 
 // Histograms reconstructs every histogram embedded in the snapshot's

@@ -52,10 +52,17 @@ type metric struct {
 	read func() int64
 }
 
+// histFolder is the histogram side of a registration: both the single-run
+// Histogram and the concurrency-safe LiveHistogram fold their buckets into
+// a snapshot under the same ".h.*" keys.
+type histFolder interface {
+	fold(s Snapshot, name string)
+}
+
 // histEntry is one registered histogram.
 type histEntry struct {
 	name string
-	h    *Histogram
+	h    histFolder
 }
 
 // Registry collects metric registrations for one machine instance.
@@ -112,6 +119,17 @@ func (r *Registry) Histogram(name string, h *Histogram) {
 	r.hists = append(r.hists, histEntry{name, h})
 }
 
+// LiveHistogram registers a concurrency-safe histogram. It folds into the
+// snapshot exactly like Histogram; unlike Histogram it may keep receiving
+// observations while the registry is snapshotted. A nil registry — or a
+// nil histogram — ignores the registration.
+func (r *Registry) LiveHistogram(name string, h *LiveHistogram) {
+	if r == nil || h == nil {
+		return
+	}
+	r.hists = append(r.hists, histEntry{name, h})
+}
+
 // Len reports how many metrics are registered. A nil registry has none.
 func (r *Registry) Len() int {
 	if r == nil {
@@ -144,6 +162,34 @@ func (r *Registry) Snapshot() Snapshot {
 // GaugeSuffix marks a metric name as a gauge: keys ending in it merge by
 // maximum instead of summation.
 const GaugeSuffix = "_max"
+
+// DiagPrefix marks a metric name segment as diagnostic: instrumentation of
+// the simulator itself (stream-fold engagement, trace-ring drops) rather
+// than of the simulated machine. Diagnostic metrics merge by the normal
+// rules and appear in -json snapshots and /metrics, but they are excluded
+// from the fast-vs-reference equivalence guarantees — a run that takes a
+// fast path *should* count differently from one that does not, while every
+// non-diagnostic observable stays byte-identical.
+const DiagPrefix = "diag."
+
+// IsDiag reports whether a metric name lives in the diagnostic namespace:
+// its name (or any dot-separated prefix-qualified form of it) starts with
+// DiagPrefix.
+func IsDiag(name string) bool {
+	return strings.HasPrefix(name, DiagPrefix) || strings.Contains(name, "."+DiagPrefix)
+}
+
+// WithoutDiag returns a copy of s with every diagnostic metric removed —
+// the set of observables the equivalence tests compare.
+func (s Snapshot) WithoutDiag() Snapshot {
+	out := make(Snapshot, len(s))
+	for k, v := range s {
+		if !IsDiag(k) {
+			out[k] = v
+		}
+	}
+	return out
+}
 
 // Snapshot is a point-in-time reading: metric name to value (counts, or
 // nanoseconds for timers, or bucket counts for histograms).

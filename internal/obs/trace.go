@@ -67,6 +67,13 @@ type Tracer struct {
 	pid int64
 	// procName labels this tracer's machine in multi-machine trace files.
 	procName string
+	// dropped counts ring overwrites explicitly — every event the full
+	// ring discarded to make room. It used to be derived from n at read
+	// time, which made silent data loss invisible to anything that did not
+	// already know the ring capacity; now it is a first-class counter,
+	// registrable as a metric (Observe) and stamped into Chrome exports.
+	// Atomic so a live scrape may read it while the simulation emits.
+	dropped LiveCounter
 }
 
 // DefaultTraceEvents is the default ring capacity: enough to hold the tail
@@ -119,6 +126,9 @@ func (t *Tracer) Instant(tid int32, cat, name string, at sim.Time) {
 }
 
 func (t *Tracer) emit(ev TraceEvent) {
+	if t.n >= uint64(len(t.buf)) {
+		t.dropped.Inc()
+	}
 	t.buf[t.n%uint64(len(t.buf))] = ev
 	t.n++
 }
@@ -131,12 +141,24 @@ func (t *Tracer) Len() int {
 	return int(min(t.n, uint64(len(t.buf))))
 }
 
-// Dropped reports how many events the ring has overwritten.
+// Dropped reports how many events the ring has overwritten. Safe to read
+// while the traced simulation is still emitting.
 func (t *Tracer) Dropped() uint64 {
-	if t == nil || t.n <= uint64(len(t.buf)) {
+	if t == nil {
 		return 0
 	}
-	return t.n - uint64(len(t.buf))
+	return t.dropped.Load()
+}
+
+// Observe registers the tracer's drop counter as the diagnostic metric
+// "diag.trace_dropped_events", so ring overflow is visible in metrics
+// snapshots and /metrics instead of only on stderr. A nil tracer ignores
+// the registration.
+func (t *Tracer) Observe(r *Registry) {
+	if t == nil {
+		return
+	}
+	r.Counter(DiagPrefix+"trace_dropped_events", t.dropped.Load)
 }
 
 // Events returns the retained events in emission order (oldest first). The
@@ -211,6 +233,14 @@ func WriteChrome(w io.Writer, tracers ...*Tracer) error {
 			comma()
 			fmt.Fprintf(bw, "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\",\"args\":{\"name\":%s}}",
 				pid, strconv.Quote(t.procName))
+		}
+		if d := t.Dropped(); d > 0 {
+			// Make ring overflow visible inside the trace itself: viewers
+			// show unknown metadata records in the event list, and tooling
+			// can grep for the name.
+			comma()
+			fmt.Fprintf(bw, "{\"ph\":\"M\",\"pid\":%d,\"name\":\"trace_dropped_events\",\"args\":{\"dropped\":%d}}",
+				pid, d)
 		}
 		events := t.Events()
 		named := make(map[int32]bool)

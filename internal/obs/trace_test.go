@@ -137,3 +137,23 @@ func TestTrackNames(t *testing.T) {
 		}
 	}
 }
+
+// TestTracerObserveRegistersDrops checks ring overflow is visible as a
+// diagnostic metric, not just through the Dropped accessor.
+func TestTracerObserveRegistersDrops(t *testing.T) {
+	tr := NewTracer(2)
+	r := New()
+	tr.Observe(r)
+	if got := r.Snapshot()[DiagPrefix+"trace_dropped_events"]; got != 0 {
+		t.Fatalf("fresh tracer drops = %d, want 0", got)
+	}
+	for i := 0; i < 5; i++ {
+		tr.Instant(TIDCPU, "c", "e", sim.Time(i))
+	}
+	if got := r.Snapshot()[DiagPrefix+"trace_dropped_events"]; got != 3 {
+		t.Fatalf("drops = %d, want 3", got)
+	}
+	if !IsDiag(DiagPrefix + "trace_dropped_events") {
+		t.Error("trace drop counter should be diagnostic")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 
@@ -179,6 +180,51 @@ func ParseMetrics(data []byte) (obs.Snapshot, error) {
 		return nil, fmt.Errorf("report: parsing metrics JSON: %w", err)
 	}
 	return s, nil
+}
+
+// Violation is one metric whose change between two snapshots exceeds a
+// tolerance.
+type Violation struct {
+	Metric   string
+	Old, New int64
+	// Pct is the relative change in percent; +Inf when the baseline value
+	// was zero.
+	Pct float64
+}
+
+// String renders the violation for a CI log.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %d -> %d (%+.2f%%)", v.Metric, v.Old, v.New, v.Pct)
+}
+
+// OutOfTolerance compares new against the baseline old and returns every
+// baseline metric whose relative change exceeds tolPct percent, sorted by
+// metric name. The check is baseline-driven: a metric present only in new
+// (an added instrument) is not a regression and is ignored, while a
+// baseline metric missing from new counts as having gone to zero. tolPct 0
+// demands exact equality on every baseline metric — simulated metrics are
+// deterministic, so a trajectory file can be gated exactly.
+func OutOfTolerance(old, new obs.Snapshot, tolPct float64) []Violation {
+	names := make([]string, 0, len(old))
+	for k := range old {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var out []Violation
+	for _, k := range names {
+		o, n := old[k], new[k]
+		if o == n {
+			continue
+		}
+		pct := math.Inf(1)
+		if o != 0 {
+			pct = 100 * float64(n-o) / math.Abs(float64(o))
+		}
+		if math.Abs(pct) > tolPct {
+			out = append(out, Violation{Metric: k, Old: o, New: n, Pct: pct})
+		}
+	}
+	return out
 }
 
 // Diff renders a per-metric comparison of two snapshots: every key of

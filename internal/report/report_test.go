@@ -125,3 +125,53 @@ func TestDiff(t *testing.T) {
 		t.Error("full diff should include unchanged metrics")
 	}
 }
+
+func TestOutOfTolerance(t *testing.T) {
+	old := obs.Snapshot{"same": 100, "up": 100, "down": 100, "gone": 4, "was_zero": 0}
+	new := obs.Snapshot{"same": 100, "up": 103, "down": 90, "was_zero": 2, "added": 9}
+
+	// tol 0: every changed baseline metric is a violation; "added" never is.
+	v := OutOfTolerance(old, new, 0)
+	var names []string
+	for _, x := range v {
+		names = append(names, x.Metric)
+	}
+	want := []string{"down", "gone", "up", "was_zero"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("tol 0 violations = %v, want %v", names, want)
+	}
+
+	// tol 5: the 3% increase passes, the 10% drop and the missing/zero
+	// baselines (infinite or -100% change) still trip.
+	v = OutOfTolerance(old, new, 5)
+	names = names[:0]
+	for _, x := range v {
+		names = append(names, x.Metric)
+	}
+	want = []string{"down", "gone", "was_zero"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("tol 5 violations = %v, want %v", names, want)
+	}
+
+	if v := OutOfTolerance(old, old, 0); len(v) != 0 {
+		t.Fatalf("identical snapshots should have no violations, got %v", v)
+	}
+
+	s := v0String(t, OutOfTolerance(old, new, 5))
+	for _, wantSub := range []string{"down: 100 -> 90 (-10.00%)", "was_zero: 0 -> 2 (+Inf%)"} {
+		if !strings.Contains(s, wantSub) {
+			t.Errorf("violation rendering missing %q:\n%s", wantSub, s)
+		}
+	}
+}
+
+// v0String joins violations into one string for substring checks.
+func v0String(t *testing.T, vs []Violation) string {
+	t.Helper()
+	var b strings.Builder
+	for _, v := range vs {
+		b.WriteString(v.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

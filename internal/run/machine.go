@@ -79,6 +79,16 @@ func NewPair(cfg radram.Config) (conv, rad *Machine, err error) {
 // Snapshot reads the machine's merged metrics.
 func (m *Machine) Snapshot() obs.Snapshot { return m.Metrics.Snapshot() }
 
+// EnableTracing wires a simulated-time tracer through the machine (see
+// radram.Machine.EnableTracing) and additionally registers the tracer's
+// ring-overflow counter into the machine's registry, so dropped trace
+// events surface in the metrics snapshot as "diag.trace_dropped_events"
+// instead of vanishing silently.
+func (m *Machine) EnableTracing(tr *obs.Tracer) {
+	m.Machine.EnableTracing(tr)
+	tr.Observe(m.Metrics)
+}
+
 // Cluster is an SMP machine: n processors sharing one backing store and
 // memory hierarchy, each with its own timeline and its own Active-Page
 // system view over the shared memory (the paper's Section 2/10 SMP

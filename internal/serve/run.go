@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"activepages/internal/obs"
+)
+
+// State is a run's position in its lifecycle. Runs move strictly forward:
+// queued -> running -> done|failed (a queued run can also fail directly,
+// when the daemon shuts down before a worker picks it up).
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Request is the body of POST /api/v1/runs: which experiment to run and
+// with what knobs. The zero value of every field selects the apbench
+// default.
+type Request struct {
+	// Experiment names what to run: a composite experiment, "all", or a
+	// single benchmark name — the same vocabulary as apbench -experiment.
+	Experiment string `json:"experiment"`
+	// Quick selects the short problem-size axis (apbench -quick).
+	Quick bool `json:"quick,omitempty"`
+	// PageBytes overrides the superpage size (apbench -pagebytes); 0 keeps
+	// the scaled default.
+	PageBytes uint64 `json:"page_bytes,omitempty"`
+	// Regions prints the region classification after fig3 (apbench -regions).
+	Regions bool `json:"regions,omitempty"`
+	// L2 makes fig5 sweep the L2 instead of the L1D (apbench -l2).
+	L2 bool `json:"l2,omitempty"`
+}
+
+// Run is one submitted experiment and everything it produced. The struct
+// is guarded by its server's registry lock; handlers only ever see copies
+// taken under that lock (see view), so a run in flight never races a read.
+type Run struct {
+	ID      string  `json:"id"`
+	Request Request `json:"request"`
+	State   State   `json:"state"`
+	// Error holds the failure cause when State is failed.
+	Error string `json:"error,omitempty"`
+	// Submitted/Started/Finished are wall-clock lifecycle stamps.
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	// ElapsedMS is the wall-clock execution time in milliseconds, set when
+	// the run finishes.
+	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
+
+	// output is the experiment's rendered tables — exactly what apbench
+	// would have printed to stdout. metrics is the run's merged snapshot
+	// and groups its per-benchmark snapshots (for the attribution report).
+	// All are populated only once the run is done and are immutable
+	// afterwards, so handlers may serve them without copying.
+	output  []byte
+	metrics obs.Snapshot
+	groups  map[string]obs.Snapshot
+}
+
+// view returns a shallow copy of the run's JSON-visible fields, safe to
+// marshal after the registry lock is released. output and metrics are
+// intentionally shared: they are written once, before the run is marked
+// done, and never mutated after.
+func (r *Run) view() Run { return *r }
+
+// registry is the server's run table: id allocation, lookup, and listing.
+type registry struct {
+	mu   sync.Mutex
+	next int
+	runs map[string]*Run
+}
+
+func newRegistry() *registry {
+	return &registry{runs: make(map[string]*Run)}
+}
+
+// add registers a freshly submitted run and assigns its id.
+func (g *registry) add(req Request, now time.Time) *Run {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.next++
+	r := &Run{
+		ID:        fmt.Sprintf("r%06d", g.next),
+		Request:   req,
+		State:     StateQueued,
+		Submitted: now,
+	}
+	g.runs[r.ID] = r
+	return r
+}
+
+// get returns a consistent copy of one run.
+func (g *registry) get(id string) (Run, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.runs[id]
+	if !ok {
+		return Run{}, false
+	}
+	return r.view(), true
+}
+
+// list returns consistent copies of every run, sorted by id (submission
+// order, since ids are sequential and zero-padded).
+func (g *registry) list() []Run {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Run, 0, len(g.runs))
+	for _, r := range g.runs {
+		out = append(out, r.view())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// remove deletes a run (used to reclaim the slot of a shed submission).
+func (g *registry) remove(id string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.runs, id)
+}
+
+// update applies fn to the run under the registry lock.
+func (g *registry) update(id string, fn func(*Run)) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if r, ok := g.runs[id]; ok {
+		fn(r)
+	}
+}
+
+// counts tallies runs per state for the queue gauges.
+func (g *registry) counts() map[State]int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c := make(map[State]int, 4)
+	for _, r := range g.runs {
+		c[r.State]++
+	}
+	return c
+}
+
+// validate rejects a request the dispatcher would refuse, so a bad
+// experiment name fails the POST with 400 instead of occupying a worker.
+func (req Request) validate(known func(string) bool) error {
+	if req.Experiment == "" {
+		return fmt.Errorf("missing experiment name")
+	}
+	if !known(req.Experiment) {
+		return fmt.Errorf("unknown experiment %q", req.Experiment)
+	}
+	if req.PageBytes != 0 && (req.PageBytes&(req.PageBytes-1)) != 0 {
+		return fmt.Errorf("page_bytes must be a power of two, got %d", req.PageBytes)
+	}
+	return nil
+}
+
+// String renders the request compactly for logs.
+func (req Request) String() string {
+	var b strings.Builder
+	b.WriteString(req.Experiment)
+	if req.Quick {
+		b.WriteString(" quick")
+	}
+	if req.PageBytes != 0 {
+		fmt.Fprintf(&b, " pagebytes=%d", req.PageBytes)
+	}
+	return b.String()
+}

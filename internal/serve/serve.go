@@ -1,0 +1,459 @@
+// Package serve is the run-registry daemon behind cmd/apserved: a
+// long-running HTTP service that accepts experiment submissions, executes
+// them on a bounded worker pool built on the run layer, and exposes
+// per-run results plus live service metrics while runs are in flight.
+//
+// The simulator's own observability (package obs) is pull-after-completion:
+// each run gets a fresh registry, snapshotted exactly once after the run
+// exits. The daemon layers live metrics on top — atomic counters, gauges
+// computed on read, and lock-striped latency histograms — so a /metrics
+// scrape is race-free against the pool's workers, and merges every
+// completed run's snapshot into one aggregate that the scrape renders in
+// Prometheus text exposition format under the "run." prefix.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"activepages/internal/experiments"
+	"activepages/internal/obs"
+	"activepages/internal/radram"
+	"activepages/internal/report"
+	"activepages/internal/run"
+)
+
+// Config carries the daemon's knobs. The zero value of every field selects
+// a sensible default (see withDefaults).
+type Config struct {
+	// Addr is the listen address, e.g. "127.0.0.1:8080".
+	Addr string
+	// Workers is how many runs execute concurrently.
+	Workers int
+	// QueueDepth bounds how many accepted runs may wait for a worker;
+	// submissions beyond it are shed with 503.
+	QueueDepth int
+	// RunTimeout bounds one run's wall-clock execution; a run that exceeds
+	// it is marked failed.
+	RunTimeout time.Duration
+	// JobsPerRun is the simulation worker-pool width inside each run.
+	JobsPerRun int
+	// Logger receives structured request and lifecycle logs; nil discards.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:8080"
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.RunTimeout <= 0 {
+		c.RunTimeout = 10 * time.Minute
+	}
+	if c.JobsPerRun <= 0 {
+		c.JobsPerRun = runtime.NumCPU()
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// Server is the daemon: run registry, worker pool, and HTTP surface.
+type Server struct {
+	cfg Config
+	log *slog.Logger
+
+	reg   *registry
+	queue chan string
+	agg   *run.Collector
+	live  *obs.Registry
+
+	draining atomic.Bool
+	workers  chan struct{} // closed when the worker pool has drained
+
+	runsSubmitted obs.LiveCounter
+	runsRejected  obs.LiveCounter
+	runsCompleted obs.LiveCounter
+	runsFailed    obs.LiveCounter
+	runsActive    obs.LiveGauge
+	runNS         obs.LiveHistogram // wall-clock run durations
+
+	httpRequests obs.LiveCounter
+	httpErrors   obs.LiveCounter
+	httpPanics   obs.LiveCounter
+
+	mux     *http.ServeMux
+	handler http.Handler
+}
+
+// New builds a server. Workers do not run until Start or ListenAndServe.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		reg:     newRegistry(),
+		queue:   make(chan string, cfg.QueueDepth),
+		agg:     run.NewCollector(),
+		live:    obs.New(),
+		workers: make(chan struct{}),
+		mux:     http.NewServeMux(),
+	}
+
+	// Every live-registry registration reads an atomic or takes the
+	// registry lock, so Snapshot is safe while workers and handlers are
+	// concurrently updating — the property /metrics depends on.
+	s.live.Counter("serve.runs_submitted", s.runsSubmitted.Load)
+	s.live.Counter("serve.runs_rejected", s.runsRejected.Load)
+	s.live.Counter("serve.runs_completed", s.runsCompleted.Load)
+	s.live.Counter("serve.runs_failed", s.runsFailed.Load)
+	s.live.Gauge("serve.runs_active", s.runsActive.Load)
+	s.live.Gauge("serve.queue_depth", func() int64 { return int64(len(s.queue)) })
+	s.live.Gauge("serve.queue_capacity", func() int64 { return int64(cap(s.queue)) })
+	s.live.LiveHistogram("serve.run_wall", &s.runNS)
+	s.live.Counter("serve.http_requests", s.httpRequests.Load)
+	s.live.Counter("serve.http_errors", s.httpErrors.Load)
+	s.live.Counter("serve.http_panics", s.httpPanics.Load)
+
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("POST /api/v1/runs", s.handleSubmit)
+	s.handle("GET /api/v1/runs", s.handleList)
+	s.handle("GET /api/v1/runs/{id}", s.handleGet)
+	s.handle("GET /api/v1/runs/{id}/output", s.handleOutput)
+	s.handle("GET /api/v1/runs/{id}/metrics", s.handleRunMetrics)
+	s.handle("GET /api/v1/runs/{id}/report", s.handleReport)
+	s.handler = s.recoverer(s.mux)
+	return s
+}
+
+// Handler returns the server's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Start launches the worker pool without binding a listener, for callers
+// that serve the handler themselves (httptest, embedding).
+func (s *Server) Start() {
+	done := make(chan struct{}, s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for id := range s.queue {
+				if s.draining.Load() {
+					// The daemon is shutting down: whatever is still queued
+					// is abandoned, visibly.
+					s.finish(id, StateFailed, "daemon shutting down before run started", 0)
+					continue
+				}
+				s.execute(id)
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < s.cfg.Workers; i++ {
+			<-done
+		}
+		close(s.workers)
+	}()
+}
+
+// Shutdown drains the worker pool: new submissions are shed, queued runs
+// are marked failed, and in-flight runs finish (each bounded by
+// RunTimeout). It returns when the pool has drained or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	close(s.queue)
+	select {
+	case <-s.workers:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: worker pool did not drain: %w", ctx.Err())
+	}
+}
+
+// ListenAndServe binds cfg.Addr and serves until ctx is cancelled, then
+// shuts down gracefully: the listener closes, in-flight HTTP requests get
+// a grace period, and the worker pool drains.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	s.Start()
+	srv := &http.Server{
+		Addr:              s.cfg.Addr,
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	s.log.Info("apserved listening",
+		"addr", s.cfg.Addr, "workers", s.cfg.Workers,
+		"queue_depth", s.cfg.QueueDepth, "run_timeout", s.cfg.RunTimeout.String())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.log.Info("apserved shutting down")
+	grace, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(grace); err != nil {
+		return err
+	}
+	if err := s.Shutdown(grace); err != nil {
+		return err
+	}
+	s.log.Info("apserved stopped")
+	return nil
+}
+
+// finish moves a run to a terminal state under the registry lock.
+func (s *Server) finish(id string, st State, errMsg string, elapsed time.Duration) {
+	now := time.Now()
+	s.reg.update(id, func(r *Run) {
+		r.State = st
+		r.Error = errMsg
+		r.Finished = &now
+		r.ElapsedMS = elapsed.Milliseconds()
+	})
+}
+
+// execute runs one queued experiment on this worker, bounded by
+// RunTimeout.
+func (s *Server) execute(id string) {
+	var req Request
+	now := time.Now()
+	s.reg.update(id, func(r *Run) {
+		req = r.Request
+		r.State = StateRunning
+		r.Started = &now
+	})
+	s.runsActive.Add(1)
+	defer s.runsActive.Add(-1)
+	s.log.Info("run started", "id", id, "request", req.String())
+
+	type result struct {
+		out    []byte
+		snap   obs.Snapshot
+		groups map[string]obs.Snapshot
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		var buf bytes.Buffer
+		runner := (&run.Runner{Jobs: s.cfg.JobsPerRun}).WithMetrics()
+		cfg := radram.DefaultConfig().WithPageBytes(experiments.ScaledPageBytes)
+		if req.PageBytes != 0 {
+			cfg = radram.DefaultConfig().WithPageBytes(req.PageBytes)
+		}
+		points := experiments.DefaultPagePoints()
+		if req.Quick {
+			points = experiments.QuickPagePoints()
+		}
+		opt := experiments.Options{Regions: req.Regions, L2: req.L2}
+		err := experiments.Dispatch(&buf, runner, req.Experiment, cfg, points, opt)
+		done <- result{buf.Bytes(), runner.Metrics.Snapshot(), runner.Metrics.Groups(), err}
+	}()
+
+	timer := time.NewTimer(s.cfg.RunTimeout)
+	defer timer.Stop()
+	select {
+	case res := <-done:
+		elapsed := time.Since(now)
+		s.runNS.Observe(wallDuration(elapsed))
+		if res.err != nil {
+			s.runsFailed.Inc()
+			s.finish(id, StateFailed, res.err.Error(), elapsed)
+			s.log.Error("run failed", "id", id, "err", res.err.Error(), "elapsed_ms", elapsed.Milliseconds())
+			return
+		}
+		s.agg.Add(res.snap)
+		s.reg.update(id, func(r *Run) {
+			r.output = res.out
+			r.metrics = res.snap
+			r.groups = res.groups
+		})
+		s.runsCompleted.Inc()
+		s.finish(id, StateDone, "", elapsed)
+		s.log.Info("run done", "id", id, "elapsed_ms", elapsed.Milliseconds(), "output_bytes", len(res.out))
+	case <-timer.C:
+		// The simulation has no cancellation points, so the worker abandons
+		// the dispatch goroutine: it runs to completion in the background
+		// and its result is discarded (done is buffered, so its send never
+		// blocks). The leak is deliberate — bounding worker occupancy is
+		// what keeps the pool live — and visible in go_goroutines.
+		s.runsFailed.Inc()
+		s.finish(id, StateFailed,
+			fmt.Sprintf("timed out after %s (simulation abandoned)", s.cfg.RunTimeout), s.cfg.RunTimeout)
+		s.log.Error("run timed out", "id", id, "timeout", s.cfg.RunTimeout.String())
+	}
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// MetricsSnapshot returns everything /metrics renders: the live service
+// registry merged with the aggregate of every completed run under the
+// "run." prefix. Safe to call while runs are in flight.
+func (s *Server) MetricsSnapshot() obs.Snapshot {
+	snap := s.live.Snapshot()
+	snap.Merge(s.agg.Snapshot().WithPrefix("run."))
+	return snap
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ExpositionContentType)
+	snap := s.MetricsSnapshot()
+	if err := obs.WriteExposition(w, snap); err != nil {
+		return
+	}
+	obs.WriteGoExposition(w)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if err := req.validate(experiments.IsKnown); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if s.draining.Load() {
+		s.runsRejected.Inc()
+		writeError(w, http.StatusServiceUnavailable, "daemon is shutting down")
+		return
+	}
+	rn := s.reg.add(req, time.Now())
+	select {
+	case s.queue <- rn.ID:
+	default:
+		// Load shed: the queue is full. The slot in the registry is
+		// reclaimed so a rejected submission leaves no trace but the
+		// counter.
+		s.reg.remove(rn.ID)
+		s.runsRejected.Inc()
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("run queue full (%d queued)", cap(s.queue)))
+		return
+	}
+	s.runsSubmitted.Inc()
+	s.log.Info("run submitted", "id", rn.ID, "request", req.String())
+	w.Header().Set("Location", "/api/v1/runs/"+rn.ID)
+	// Re-fetch under the registry lock: a worker may already be mutating
+	// the run, and view copies must never race it.
+	view, _ := s.reg.get(rn.ID)
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	type listing struct {
+		Runs   []Run         `json:"runs"`
+		Counts map[State]int `json:"counts"`
+	}
+	writeJSON(w, http.StatusOK, listing{Runs: s.reg.list(), Counts: s.reg.counts()})
+}
+
+// lookup fetches the run named by the request path, writing the 404 itself.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (Run, bool) {
+	id := r.PathValue("id")
+	rn, ok := s.reg.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no run %q", id))
+	}
+	return rn, ok
+}
+
+// lookupDone additionally requires the run to have produced output.
+func (s *Server) lookupDone(w http.ResponseWriter, r *http.Request) (Run, bool) {
+	rn, ok := s.lookup(w, r)
+	if !ok {
+		return rn, false
+	}
+	if rn.State != StateDone {
+		writeError(w, http.StatusConflict,
+			fmt.Sprintf("run %s is %s, not done", rn.ID, rn.State))
+		return rn, false
+	}
+	return rn, true
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if rn, ok := s.lookup(w, r); ok {
+		writeJSON(w, http.StatusOK, rn)
+	}
+}
+
+func (s *Server) handleOutput(w http.ResponseWriter, r *http.Request) {
+	rn, ok := s.lookupDone(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(rn.output)
+}
+
+func (s *Server) handleRunMetrics(w http.ResponseWriter, r *http.Request) {
+	rn, ok := s.lookupDone(w, r)
+	if !ok {
+		return
+	}
+	j, err := rn.metrics.JSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(j)
+	w.Write([]byte("\n"))
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	rn, ok := s.lookupDone(w, r)
+	if !ok {
+		return
+	}
+	groups := rn.groups
+	if len(groups) == 0 {
+		// Experiments that collect no per-benchmark groups still get a
+		// whole-run attribution, mirroring apreport on a single file.
+		groups = map[string]obs.Snapshot{rn.ID: rn.metrics}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	report.FromGroups(groups).WriteTo(w)
+}
+
+// --- response helpers ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
