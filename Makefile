@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench microbench quickbench loadtest paper clean
+.PHONY: all build test race vet bench microbench quickbench simdram-quick loadtest paper clean
 
 all: build test
 
@@ -34,6 +34,17 @@ quickbench:
 	$(GO) build -o /tmp/apbench-quickbench ./cmd/apbench
 	@s=$$(date +%s%N); /tmp/apbench-quickbench -experiment all -quick -jobs 1 > /dev/null; \
 	e=$$(date +%s%N); echo "quick run: $$(( (e-s)/1000000 )) ms"
+
+# Reproduce the SIMDRAM CI gate locally: the quick array sweep on the
+# bit-serial backend must match the committed baseline exactly, and must
+# be identical for any worker count.
+simdram-quick:
+	$(GO) build -o /tmp/apbench-simdram ./cmd/apbench
+	$(GO) build -o /tmp/apreport-simdram ./cmd/apreport
+	/tmp/apbench-simdram -experiment array -quick -backend simdram -json > /tmp/simdram-j1.txt
+	/tmp/apbench-simdram -experiment array -quick -backend simdram -json -jobs 8 > /tmp/simdram-j8.txt
+	cmp /tmp/simdram-j1.txt /tmp/simdram-j8.txt
+	/tmp/apreport-simdram -tol 0 ci/baseline-array-quick-simdram.txt /tmp/simdram-j1.txt
 
 # Boot the daemon, drive it with the load generator, and shut it down:
 # one-command smoke of the serve stack plus a tail-latency summary.

@@ -10,11 +10,22 @@
 //	apbench -experiment ablations
 //	apbench -experiment array -quick -json -report
 //	apbench -experiment all -quick -trace out.json
+//	apbench -experiment backends -quick
+//	apbench -experiment array -quick -backend simdram
 //
 // Experiments: table1 table2 table3 table4 crossover fig3 fig4 fig5 fig8
-// fig9 smp ablations all — or any single benchmark name (array, database,
-// median-kernel, median-total, dynamic-prog, matrix-simplex, matrix-boeing,
-// mpeg-mmx), which sweeps that benchmark alone over the problem-size axis.
+// fig9 smp ablations backends all — or any single benchmark name (array,
+// database, median-kernel, median-total, dynamic-prog, matrix-simplex,
+// matrix-boeing, mpeg-mmx), which sweeps that benchmark alone over the
+// problem-size axis.
+//
+// -backend selects the Active-Page compute backend: radram (the default,
+// the paper's reconfigurable-logic DRAM), simdram (a bit-serial
+// row-parallel in-DRAM SIMD model), or all to run each in turn. Only the
+// kernels with bit-serial ports (array, database, median) run on simdram;
+// experiments that only make sense on RADram print a skip note there. The
+// "backends" experiment renders the three-way conventional/RADram/SIMDRAM
+// comparison and the crossover figures.
 //
 // Every experiment is a grid of independent simulations executed across
 // -jobs worker goroutines (default: one per CPU); the merged output is
@@ -62,6 +73,7 @@ func realMain() error {
 		quick      = flag.Bool("quick", false, "use a short problem-size axis")
 		pageBytes  = flag.Uint64("pagebytes", experiments.ScaledPageBytes,
 			"superpage size (512KiB = paper reference; smaller = scaled mode)")
+		backendSel = flag.String("backend", "radram", "compute backend: radram, simdram, or all")
 		regions    = flag.Bool("regions", false, "with fig3: print region classification")
 		l2         = flag.Bool("l2", false, "with fig5: sweep the L2 instead of the L1D")
 		csvDir     = flag.String("csv", "", "also write each figure as CSV into this directory")
@@ -77,7 +89,7 @@ func realMain() error {
 	flag.Usage = func() {
 		w := flag.CommandLine.Output()
 		fmt.Fprintf(w, "Usage: %s [flags]\n\n", filepath.Base(os.Args[0]))
-		fmt.Fprintf(w, "-experiment accepts a composite experiment:\n  all %s\n",
+		fmt.Fprintf(w, "-experiment accepts a composite experiment:\n  all %s backends\n",
 			strings.Join(experiments.All, " "))
 		fmt.Fprintf(w, "or a single benchmark name, which sweeps that benchmark alone over\nthe problem-size axis:\n  %s\n\n",
 			strings.Join(experiments.BenchmarkNames(), " "))
@@ -122,7 +134,7 @@ func realMain() error {
 	if *jsonOut || *reportOut {
 		r.WithMetrics()
 	}
-	opt := experiments.Options{Regions: *regions, L2: *l2, CSVDir: *csvDir}
+	opt := experiments.Options{Regions: *regions, L2: *l2, CSVDir: *csvDir, Backend: *backendSel}
 	if err := experiments.Dispatch(os.Stdout, r, *experiment, cfg, points, opt); err != nil {
 		return err
 	}

@@ -45,13 +45,18 @@ func realMain() error {
 		n          = flag.Int("n", 50, "total runs to submit")
 		c          = flag.Int("c", 8, "concurrent clients")
 		experiment = flag.String("experiment", "array", "experiment to submit")
+		backendSel = flag.String("backend", "", "compute backend to request (radram, simdram, or all; empty = daemon default)")
 		quick      = flag.Bool("quick", true, "submit quick (short-axis) runs")
 		poll       = flag.Duration("poll", 50*time.Millisecond, "status poll interval")
 		timeout    = flag.Duration("timeout", 5*time.Minute, "per-run completion deadline")
 	)
 	flag.Parse()
 
-	body, err := json.Marshal(map[string]any{"experiment": *experiment, "quick": *quick})
+	reqBody := map[string]any{"experiment": *experiment, "quick": *quick}
+	if *backendSel != "" {
+		reqBody["backend"] = *backendSel
+	}
+	body, err := json.Marshal(reqBody)
 	if err != nil {
 		return err
 	}
@@ -119,8 +124,12 @@ func realMain() error {
 		return fmt.Errorf("run %s did not finish within %s", id, *timeout)
 	}
 
+	label := *experiment
+	if *backendSel != "" {
+		label += " backend=" + *backendSel
+	}
 	fmt.Printf("apload: %d x %q (quick=%v) across %d clients against %s\n",
-		*n, *experiment, *quick, *c, *addr)
+		*n, label, *quick, *c, *addr)
 	start := time.Now()
 	results := make([]runResult, *n)
 	var next int64

@@ -61,9 +61,26 @@ func realMain() error {
 
 	if len(snaps) == 1 {
 		// A single apbench snapshot is one big group: attribute it whole.
+		if b := report.BackendOf(snaps[0]); b != "" {
+			fmt.Printf("backend: %s\n", b)
+		}
 		r := report.FromGroups(map[string]obs.Snapshot{args[0]: snaps[0]})
 		_, err := r.WriteTo(os.Stdout)
 		return err
+	}
+	// Metrics namespaces are per backend, so diffing runs from different
+	// backends would compare disjoint key sets and render a misleading
+	// (near-empty) diff; refuse instead of reporting nothing changed.
+	oldBk, newBk := report.BackendOf(snaps[0]), report.BackendOf(snaps[1])
+	if oldBk != "" && newBk != "" && oldBk != newBk {
+		return fmt.Errorf("backend mismatch: %s is a %s run but %s is a %s run; re-run apbench with the same -backend to compare",
+			args[0], oldBk, args[1], newBk)
+	}
+	if bk := oldBk; bk != "" || newBk != "" {
+		if bk == "" {
+			bk = newBk
+		}
+		fmt.Printf("backend: %s\n", bk)
 	}
 	if _, err := report.Diff(snaps[0], snaps[1], !*all).WriteTo(os.Stdout); err != nil {
 		return err

@@ -83,6 +83,34 @@ func (m Measurement) Speedup() float64 {
 	return float64(m.ConvTime) / float64(m.RadTime)
 }
 
+// Ported is implemented by benchmarks whose page functions have been
+// ported beyond RADram's reconfigurable logic — the capability query the
+// experiment layer uses to select workloads per backend.
+type Ported interface {
+	// PortedBackends names the additional compute backends the
+	// benchmark's page functions execute on (e.g. "simdram").
+	PortedBackends() []string
+}
+
+// Supports reports whether b runs on the named compute backend. Every
+// benchmark runs on RADram; other backends require the benchmark to
+// declare the port via Ported.
+func Supports(b Benchmark, backendName string) bool {
+	if backendName == "" || backendName == "radram" {
+		return true
+	}
+	p, ok := b.(Ported)
+	if !ok {
+		return false
+	}
+	for _, n := range p.PortedBackends() {
+		if n == backendName {
+			return true
+		}
+	}
+	return false
+}
+
 // Measure runs b at the given problem size on both machines built from cfg
 // and collects the paper's metrics.
 func Measure(b Benchmark, cfg radram.Config, pages float64) (Measurement, error) {
@@ -90,16 +118,27 @@ func Measure(b Benchmark, cfg radram.Config, pages float64) (Measurement, error)
 	return m, err
 }
 
+// apPrefix is the metrics namespace of the Active-Page machine: the
+// historical "rad." for the RADram backend, the backend's own name for
+// any other — so multi-backend aggregates never collide.
+func apPrefix(cfg radram.Config) string {
+	if name := cfg.BackendName(); name != "radram" {
+		return name + "."
+	}
+	return "rad."
+}
+
 // MeasureObserved is Measure plus the pair's merged metrics snapshot: the
-// conventional machine's counters under "conv.", the RADram machine's
-// under "rad.".
+// conventional machine's counters under "conv.", the Active-Page
+// machine's under its backend namespace ("rad." for RADram, else the
+// backend name).
 func MeasureObserved(b Benchmark, cfg radram.Config, pages float64) (Measurement, obs.Snapshot, error) {
 	m, conv, rad, err := measure(b, cfg, pages)
 	if err != nil {
 		return m, nil, err
 	}
 	snap := conv.Snapshot().WithPrefix("conv.")
-	snap.Merge(rad.Snapshot().WithPrefix("rad."))
+	snap.Merge(rad.Snapshot().WithPrefix(apPrefix(cfg)))
 	return m, snap, nil
 }
 
@@ -114,7 +153,7 @@ func measure(b Benchmark, cfg radram.Config, pages float64) (Measurement, *run.M
 		return Measurement{}, nil, nil, fmt.Errorf("%s (conventional, %g pages): %w", b.Name(), pages, err)
 	}
 	if err := b.Run(rad.Machine, pages); err != nil {
-		return Measurement{}, nil, nil, fmt.Errorf("%s (radram, %g pages): %w", b.Name(), pages, err)
+		return Measurement{}, nil, nil, fmt.Errorf("%s (%s, %g pages): %w", b.Name(), rad.BackendName(), pages, err)
 	}
 
 	meas := Measurement{

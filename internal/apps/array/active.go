@@ -4,11 +4,24 @@ import (
 	"fmt"
 
 	"activepages/internal/apps/layout"
+	"activepages/internal/backend"
 	"activepages/internal/circuits"
 	"activepages/internal/core"
 	"activepages/internal/logic"
 	"activepages/internal/radram"
+	"activepages/internal/simdram"
 )
+
+// elemBits is the array's operand width; every page circuit here also
+// carries a bit-serial port at this width, so the benchmark runs on the
+// SIMDRAM backend (bulk shifts, compares, and sums map directly onto
+// row-parallel ops).
+const elemBits = 32
+
+// arrayPort is the shared bit-serial descriptor of the array circuits.
+func arrayPort() backend.BitSerial {
+	return backend.BitSerial{Width: elemBits, TempRows: simdram.TempRowsFor(elemBits)}
+}
 
 // Active is the Active-Page backend: elements are distributed across pages
 // left-packed, page i holding elements [i*E, (i+1)*E).
@@ -252,8 +265,9 @@ func boolArg(b bool) uint64 {
 // the last element is saved to the boundary slot first.
 type insertFn struct{}
 
-func (insertFn) Name() string          { return "arr-insert" }
-func (insertFn) Design() *logic.Design { return circuits.ArrayInsert() }
+func (insertFn) Name() string                 { return "arr-insert" }
+func (insertFn) Design() *logic.Design        { return circuits.ArrayInsert() }
+func (insertFn) BitSerial() backend.BitSerial { return arrayPort() }
 
 func (insertFn) Run(ctx *core.PageContext) (core.Result, error) {
 	start, used, evict := ctx.Args[0], ctx.Args[1], ctx.Args[2] != 0
@@ -266,16 +280,20 @@ func (insertFn) Run(ctx *core.PageContext) (core.Result, error) {
 	if count > 0 {
 		ctx.Move(base+(start+1)*4, base+start*4, count*4)
 	}
-	// One element streams through the shifter per logic cycle.
-	return ctx.Finish(used - start + 4)
+	// One element streams through the shifter per logic cycle; bit-serial,
+	// the whole shift is one lane-offset row copy per operand bit.
+	return ctx.FinishOps(used-start+4, backend.Ops{
+		Width: elemBits, Elems: used - start, Copies: 1,
+	})
 }
 
 // deleteFn shifts elements left by one; when saveFirst is set (pages after
 // the deletion point) element 0 is saved to the boundary slot first.
 type deleteFn struct{}
 
-func (deleteFn) Name() string          { return "arr-delete" }
-func (deleteFn) Design() *logic.Design { return circuits.ArrayDelete() }
+func (deleteFn) Name() string                 { return "arr-delete" }
+func (deleteFn) Design() *logic.Design        { return circuits.ArrayDelete() }
+func (deleteFn) BitSerial() backend.BitSerial { return arrayPort() }
 
 func (deleteFn) Run(ctx *core.PageContext) (core.Result, error) {
 	start, used, saveFirst := ctx.Args[0], ctx.Args[1], ctx.Args[2] != 0
@@ -286,15 +304,18 @@ func (deleteFn) Run(ctx *core.PageContext) (core.Result, error) {
 	if used > start+1 {
 		ctx.Move(base+start*4, base+(start+1)*4, (used-start-1)*4)
 	}
-	return ctx.Finish(used - start + 4)
+	return ctx.FinishOps(used-start+4, backend.Ops{
+		Width: elemBits, Elems: used - start, Copies: 1,
+	})
 }
 
 // findFn counts elements equal to the key. The scratch slice persists
 // across activations (functions are bound per machine, single-threaded).
 type findFn struct{ vals []uint32 }
 
-func (*findFn) Name() string          { return "arr-find" }
-func (*findFn) Design() *logic.Design { return circuits.ArrayFind() }
+func (*findFn) Name() string                 { return "arr-find" }
+func (*findFn) Design() *logic.Design        { return circuits.ArrayFind() }
+func (*findFn) BitSerial() backend.BitSerial { return arrayPort() }
 
 func (f *findFn) Run(ctx *core.PageContext) (core.Result, error) {
 	used, key := ctx.Args[0], uint32(ctx.Args[1])
@@ -311,5 +332,8 @@ func (f *findFn) Run(ctx *core.PageContext) (core.Result, error) {
 		}
 	}
 	ctx.WriteU32(slotCount, count)
-	return ctx.Finish(used + 4)
+	// Bit-serial: one key compare per lane, then a tree-summed match count.
+	return ctx.FinishOps(used+4, backend.Ops{
+		Width: elemBits, Elems: used, Cmps: 1, Reduces: 1,
+	})
 }

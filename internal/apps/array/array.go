@@ -48,6 +48,11 @@ func (Benchmark) Description() string {
 	return "processor runs C++ array code and cross-page moves; pages insert, delete, and find"
 }
 
+// PortedBackends implements apps.Ported: the array circuits carry
+// bit-serial ports (shift = lane-offset copy, count = compare + tree
+// reduction), so the kernel also runs on the SIMDRAM backend.
+func (Benchmark) PortedBackends() []string { return []string{"simdram"} }
+
 // Array is the common interface of both backends, mirroring the paper's
 // template class.
 type Array interface {

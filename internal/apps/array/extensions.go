@@ -1,7 +1,10 @@
 package array
 
 import (
+	"math/bits"
+
 	"activepages/internal/apps/layout"
+	"activepages/internal/backend"
 	"activepages/internal/circuits"
 	"activepages/internal/core"
 	"activepages/internal/logic"
@@ -166,8 +169,9 @@ func (a *Active) AdjacentDifference() error {
 
 type accumulateFn struct{ vals []uint32 }
 
-func (*accumulateFn) Name() string          { return "arr-accumulate" }
-func (*accumulateFn) Design() *logic.Design { return circuits.ArrayFind() }
+func (*accumulateFn) Name() string                 { return "arr-accumulate" }
+func (*accumulateFn) Design() *logic.Design        { return circuits.ArrayFind() }
+func (*accumulateFn) BitSerial() backend.BitSerial { return arrayPort() }
 
 func (f *accumulateFn) Run(ctx *core.PageContext) (core.Result, error) {
 	used := ctx.Args[0]
@@ -183,13 +187,17 @@ func (f *accumulateFn) Run(ctx *core.PageContext) (core.Result, error) {
 	}
 	ctx.WriteU32(slotSum, uint32(sum))
 	ctx.WriteU32(slotSum+4, uint32(sum>>32))
-	return ctx.Finish(used + 4)
+	// Bit-serial: one whole-page adder-tree reduction.
+	return ctx.FinishOps(used+4, backend.Ops{
+		Width: elemBits, Elems: used, Reduces: 1,
+	})
 }
 
 type scanFn struct{ vals []uint32 }
 
-func (*scanFn) Name() string          { return "arr-scan" }
-func (*scanFn) Design() *logic.Design { return circuits.ArrayInsert() }
+func (*scanFn) Name() string                 { return "arr-scan" }
+func (*scanFn) Design() *logic.Design        { return circuits.ArrayInsert() }
+func (*scanFn) BitSerial() backend.BitSerial { return arrayPort() }
 
 func (f *scanFn) Run(ctx *core.PageContext) (core.Result, error) {
 	used, phase, offset := ctx.Args[0], ctx.Args[1], uint32(ctx.Args[2])
@@ -205,7 +213,9 @@ func (f *scanFn) Run(ctx *core.PageContext) (core.Result, error) {
 			vals[i] += offset
 		}
 		ctx.WriteU32Slice(base, vals)
-		return ctx.Finish(used + 4)
+		return ctx.FinishOps(used+4, backend.Ops{
+			Width: elemBits, Elems: used, Adds: 1,
+		})
 	}
 	var run uint32
 	for i, v := range vals {
@@ -214,13 +224,26 @@ func (f *scanFn) Run(ctx *core.PageContext) (core.Result, error) {
 	}
 	ctx.WriteU32Slice(base, vals)
 	ctx.WriteU32(slotSum, run)
-	return ctx.Finish(used + 4)
+	// Bit-serial: a Kogge-Stone-style scan is log2(n) shifted-add steps
+	// over the whole lane vector.
+	return ctx.FinishOps(used+4, backend.Ops{
+		Width: elemBits, Elems: used, Adds: ceilLog2(used),
+	})
+}
+
+// ceilLog2 returns ceil(log2(n)), at least 1.
+func ceilLog2(n uint64) uint64 {
+	if n <= 2 {
+		return 1
+	}
+	return uint64(bits.Len64(n - 1))
 }
 
 type adjDiffFn struct{ vals []uint32 }
 
-func (*adjDiffFn) Name() string          { return "arr-adjdiff" }
-func (*adjDiffFn) Design() *logic.Design { return circuits.ArrayDelete() }
+func (*adjDiffFn) Name() string                 { return "arr-adjdiff" }
+func (*adjDiffFn) Design() *logic.Design        { return circuits.ArrayDelete() }
+func (*adjDiffFn) BitSerial() backend.BitSerial { return arrayPort() }
 
 func (f *adjDiffFn) Run(ctx *core.PageContext) (core.Result, error) {
 	used, seed, isFirst := ctx.Args[0], uint32(ctx.Args[1]), ctx.Args[2] != 0
@@ -247,5 +270,8 @@ func (f *adjDiffFn) Run(ctx *core.PageContext) (core.Result, error) {
 	if start < len(vals) {
 		ctx.WriteU32Slice(base+uint64(start)*4, vals[start:])
 	}
-	return ctx.Finish(used + 4)
+	// Bit-serial: one lane-shifted copy plus one subtract per element.
+	return ctx.FinishOps(used+4, backend.Ops{
+		Width: elemBits, Elems: used, Copies: 1, Adds: 1,
+	})
 }

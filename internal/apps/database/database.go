@@ -18,11 +18,13 @@ import (
 
 	"activepages/internal/apps"
 	"activepages/internal/apps/layout"
+	"activepages/internal/backend"
 	"activepages/internal/circuits"
 	"activepages/internal/core"
 	"activepages/internal/logic"
 	"activepages/internal/memsys"
 	"activepages/internal/radram"
+	"activepages/internal/simdram"
 	"activepages/internal/workload"
 )
 
@@ -50,6 +52,11 @@ func (Benchmark) Partitioning() apps.Partitioning { return apps.MemoryCentric }
 func (Benchmark) Description() string {
 	return "processor initiates queries and summarizes results; pages search unindexed data"
 }
+
+// PortedBackends implements apps.Ported: the search circuit has a
+// bit-serial port (field compare = six word XNORs ANDed together, match
+// count = tree reduction), so the kernel also runs on SIMDRAM.
+func (Benchmark) PortedBackends() []string { return []string{"simdram"} }
 
 // recordsFor sizes the record count to occupy the requested pages.
 func recordsFor(m *radram.Machine, pages float64) int {
@@ -142,6 +149,12 @@ type searchFn struct{ buf []byte }
 func (*searchFn) Name() string          { return "db-search" }
 func (*searchFn) Design() *logic.Design { return circuits.Database() }
 
+// BitSerial implements core.BitSerialFunction: records sit one per lane;
+// the queried field is compared 32 bits at a time.
+func (*searchFn) BitSerial() backend.BitSerial {
+	return backend.BitSerial{Width: 32, TempRows: simdram.TempRowsFor(32)}
+}
+
 func (f *searchFn) Run(ctx *core.PageContext) (core.Result, error) {
 	nRecords := ctx.Args[0]
 	qw := []uint32{uint32(ctx.Args[1]), uint32(ctx.Args[1] >> 32),
@@ -171,7 +184,12 @@ func (f *searchFn) Run(ctx *core.PageContext) (core.Result, error) {
 		}
 	}
 	ctx.WriteU32(countOffset, count)
-	return ctx.Finish(cycles)
+	// Bit-serial: every record lane compares all six query words (no
+	// early exit across lanes) and ANDs the per-word results, then the
+	// match bits are tree-summed.
+	return ctx.FinishOps(cycles, backend.Ops{
+		Width: 32, Elems: nRecords, Cmps: 6, Bools: 5, Reduces: 1,
+	})
 }
 
 // runRADram distributes the records over Active Pages and runs the search

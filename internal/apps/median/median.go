@@ -20,11 +20,13 @@ import (
 
 	"activepages/internal/apps"
 	"activepages/internal/apps/layout"
+	"activepages/internal/backend"
 	"activepages/internal/circuits"
 	"activepages/internal/core"
 	"activepages/internal/logic"
 	"activepages/internal/memsys"
 	"activepages/internal/radram"
+	"activepages/internal/simdram"
 	"activepages/internal/workload"
 )
 
@@ -79,6 +81,11 @@ func (Benchmark) Description() string {
 // Run implements apps.Benchmark.
 func (Benchmark) Run(m *radram.Machine, pages float64) error { return run(m, pages, false) }
 
+// PortedBackends implements apps.Ported: the median circuit has a
+// bit-serial port (the 19-stage min/max network as compare-and-swap row
+// ops), so the kernel also runs on SIMDRAM.
+func (Benchmark) PortedBackends() []string { return []string{"simdram"} }
+
 // Total is the median-total study: layout transform plus filtering.
 type Total struct{}
 
@@ -95,6 +102,9 @@ func (Total) Description() string {
 
 // Run implements apps.Benchmark.
 func (Total) Run(m *radram.Machine, pages float64) error { return run(m, pages, true) }
+
+// PortedBackends implements apps.Ported (see Benchmark.PortedBackends).
+func (Total) PortedBackends() []string { return []string{"simdram"} }
 
 func run(m *radram.Machine, pages float64, total bool) error {
 	rows := blockRows(m)
@@ -222,6 +232,12 @@ type medianFn struct {
 func (*medianFn) Name() string          { return "median9" }
 func (*medianFn) Design() *logic.Design { return circuits.Median() }
 
+// BitSerial implements core.BitSerialFunction: 16-bit pixels, one output
+// pixel per lane.
+func (*medianFn) BitSerial() backend.BitSerial {
+	return backend.BitSerial{Width: 16, TempRows: simdram.TempRowsFor(16)}
+}
+
 func (f *medianFn) Run(ctx *core.PageContext) (core.Result, error) {
 	rows := int(ctx.Args[0]) // output rows in this block
 	w := f.w
@@ -252,7 +268,11 @@ func (f *medianFn) Run(ctx *core.PageContext) (core.Result, error) {
 		}
 	}
 	ctx.WriteU16Slice(outOff, out)
-	return ctx.Finish(uint64(rows*w) * medianCyclesPerPixel)
+	// Bit-serial: the 9-value median is a 19-stage min/max network; each
+	// stage is one compare plus a conditional swap (two masked copies).
+	return ctx.FinishOps(uint64(rows*w)*medianCyclesPerPixel, backend.Ops{
+		Width: 16, Elems: uint64(rows * w), Cmps: 19, Copies: 9 + 2*19,
+	})
 }
 
 // runRADram distributes row blocks with halos over pages and filters them

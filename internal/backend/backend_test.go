@@ -1,0 +1,17 @@
+package backend
+
+import "testing"
+
+func TestOpsAdd(t *testing.T) {
+	a := Ops{Width: 16, Elems: 100, Copies: 1, Adds: 2}
+	b := Ops{Width: 32, Elems: 40, Nots: 3, Bools: 4, Cmps: 5, Reduces: 1}
+	got := a.Add(b)
+	want := Ops{Width: 32, Elems: 100, Copies: 1, Nots: 3, Bools: 4, Adds: 2, Cmps: 5, Reduces: 1}
+	if got != want {
+		t.Errorf("Add = %+v, want %+v", got, want)
+	}
+	// Width and Elems follow the larger operand in either order.
+	if rev := b.Add(a); rev != want {
+		t.Errorf("Add reversed = %+v, want %+v", rev, want)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"activepages/internal/backend"
 	"activepages/internal/mem"
 	"activepages/internal/sim"
 )
@@ -187,6 +188,13 @@ func (ctx *PageContext) DelayUntil(t sim.Time) {
 // Finish packages a cycle count with any accumulated dependency time.
 func (ctx *PageContext) Finish(logicCycles uint64) (Result, error) {
 	return Result{LogicCycles: logicCycles, ReadyAt: ctx.readyAt}, nil
+}
+
+// FinishOps is Finish for bit-serial-ported functions: it additionally
+// reports the activation's operation vector, which bit-serial backends
+// price in row activations instead of the logic-cycle count.
+func (ctx *PageContext) FinishOps(logicCycles uint64, ops backend.Ops) (Result, error) {
+	return Result{LogicCycles: logicCycles, Ops: ops, ReadyAt: ctx.readyAt}, nil
 }
 
 // StreamedCopy models a pipelined sequence of inter-page references: the

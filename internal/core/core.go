@@ -30,6 +30,7 @@ package core
 import (
 	"fmt"
 
+	"activepages/internal/backend"
 	"activepages/internal/logic"
 	"activepages/internal/mem"
 	"activepages/internal/memsys"
@@ -43,11 +44,17 @@ type GroupID string
 
 // Config describes an Active-Page memory system.
 type Config struct {
+	// Backend is the page-compute implementation's cost model: it derives
+	// the compute clock, enforces the bind-time capacity constraint, and
+	// prices each activation. The RADram reference machine installs
+	// radram.CostModel; NewSystem rejects a nil backend.
+	Backend backend.ComputeBackend
 	// PageBytes is the superpage size (paper: 512 KB).
 	PageBytes uint64
 	// LogicDivisor is the ratio of CPU clock to reconfigurable-logic clock.
 	// The Table 1 reference is 10 (1 GHz CPU, 100 MHz logic); Figure 9
-	// sweeps it from 2 to 100.
+	// sweeps it from 2 to 100. Backends whose compute clock is not derived
+	// from the CPU clock (bit-serial DRAM) ignore it.
 	LogicDivisor uint64
 	// ActivationWords is the number of memory-mapped control words the
 	// processor writes to dispatch one activation (function selector plus
@@ -95,6 +102,10 @@ type Result struct {
 	// LogicCycles is how many cycles of the page's reconfigurable logic
 	// the invocation consumes.
 	LogicCycles uint64
+	// Ops is the activation's backend-neutral operation vector, priced by
+	// bit-serial backends instead of LogicCycles. Functions without a
+	// bit-serial port leave it zero.
+	Ops backend.Ops
 	// ReadyAt, when nonzero, is an additional lower bound on when the
 	// computation may start (dependencies delivered by mediated copies).
 	ReadyAt sim.Time
@@ -110,6 +121,17 @@ type Function interface {
 	// Run performs the page computation triggered by an activation,
 	// mutating page data through ctx and returning its cost.
 	Run(ctx *PageContext) (Result, error)
+}
+
+// BitSerialFunction is a Function that has been ported to bit-serial
+// row-parallel execution: it declares its per-subarray row reservation so
+// bit-serial backends can admit it at bind time, and its Run reports a
+// Result.Ops vector. Functions without this interface bind only on
+// area-model backends.
+type BitSerialFunction interface {
+	Function
+	// BitSerial returns the function's bit-serial port descriptor.
+	BitSerial() backend.BitSerial
 }
 
 // Page is one Active Page.
@@ -162,6 +184,8 @@ type System struct {
 	store      *mem.Store
 	hier       *memsys.Hierarchy
 	geom       mem.Geometry
+	backend    backend.ComputeBackend
+	params     backend.Params
 	logicClock sim.Clock
 
 	groups map[GroupID]*Group
@@ -202,9 +226,17 @@ func NewSystem(cfg Config, cpu *proc.CPU) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("core: no compute backend configured")
+	}
 	geom, err := mem.NewGeometry(cfg.PageBytes)
 	if err != nil {
 		return nil, err
+	}
+	params := backend.Params{
+		CPUPeriod:    cpu.Clock().Period(),
+		PageBytes:    cfg.PageBytes,
+		LogicDivisor: cfg.LogicDivisor,
 	}
 	return &System{
 		cfg:            cfg,
@@ -212,7 +244,9 @@ func NewSystem(cfg Config, cpu *proc.CPU) (*System, error) {
 		store:          cpu.Store(),
 		hier:           cpu.Hierarchy(),
 		geom:           geom,
-		logicClock:     sim.NewClockPeriod(cpu.Clock().Period() * sim.Duration(cfg.LogicDivisor)),
+		backend:        cfg.Backend,
+		params:         params,
+		logicClock:     sim.NewClockPeriod(cfg.Backend.ComputePeriod(params)),
 		groups:         make(map[GroupID]*Group),
 		pages:          make(map[uint64]*Page),
 		dispatchHist:   obs.NewHistogram(),
@@ -244,8 +278,12 @@ func (s *System) Observe(r *obs.Registry, prefix string) {
 // CPU returns the attached processor.
 func (s *System) CPU() *proc.CPU { return s.cpu }
 
-// LogicClock returns the reconfigurable-logic clock.
+// LogicClock returns the compute clock: the reconfigurable-logic clock on
+// RADram, the row-operation clock on bit-serial backends.
 func (s *System) LogicClock() sim.Clock { return s.logicClock }
+
+// Backend returns the system's compute backend.
+func (s *System) Backend() backend.ComputeBackend { return s.backend }
 
 // Geometry returns the superpage geometry.
 func (s *System) Geometry() mem.Geometry { return s.geom }
@@ -296,33 +334,38 @@ func (s *System) PageAt(addr uint64) (*Page, bool) {
 	return p, ok
 }
 
-// synthesize maps a function's design to the page fabric.
-func (s *System) synthesize(fn Function) logic.Report {
-	return logic.Synthesize(fn.Design())
+// bindingOf describes a function to the backend's capacity model.
+func bindingOf(fn Function) backend.Binding {
+	b := backend.Binding{Name: fn.Name(), Design: fn.Design()}
+	if bs, ok := fn.(BitSerialFunction); ok {
+		port := bs.BitSerial()
+		b.BitSerial = &port
+	}
+	return b
 }
 
 // Bind associates a function set with a group (AP_bind), replacing any
-// previous set. The combined area of the set must fit the per-page LE
-// budget; applications with larger repertoires re-bind between phases.
+// previous set. The combined footprint of the set must fit the backend's
+// per-page capacity budget (256 LEs on RADram, the compute-row budget on
+// bit-serial backends); applications with larger repertoires re-bind
+// between phases.
 func (s *System) Bind(id GroupID, fns ...Function) error {
 	g := s.groups[id]
 	if g == nil {
 		return fmt.Errorf("core: bind: unknown group %q", id)
 	}
-	total := 0
-	for _, fn := range fns {
-		total += s.synthesize(fn).LEs
+	set := make([]backend.Binding, len(fns))
+	for i, fn := range fns {
+		set[i] = bindingOf(fn)
 	}
-	if total > logic.PageLEBudget {
-		return fmt.Errorf("core: bind %s: function set needs %d LEs, budget is %d (re-bind a smaller set)",
-			id, total, logic.PageLEBudget)
+	if err := s.backend.CheckBind(s.params, set); err != nil {
+		return fmt.Errorf("core: bind %s: %w", id, err)
 	}
 	g.fns = make(map[string]Function, len(fns))
-	var reconfig sim.Duration
 	for _, fn := range fns {
 		g.fns[fn.Name()] = fn
-		reconfig += logic.ReconfigurationTime(s.synthesize(fn), s.logicClock)
 	}
+	reconfig := s.backend.BindCost(s.params, set, s.logicClock)
 	s.Stats.Binds++
 	if s.cfg.ChargeBind && len(g.pages) > 0 {
 		// Pages reconfigure in parallel; the processor streams one
@@ -366,6 +409,11 @@ func (s *System) Activate(p *Page, fnName string, args ...uint64) error {
 		return fmt.Errorf("core: activate page %d (%s): %w", p.Index, fnName, err)
 	}
 
+	busy, err := s.backend.Busy(s.params, backend.Work{LogicCycles: res.LogicCycles, Ops: res.Ops}, s.logicClock)
+	if err != nil {
+		return fmt.Errorf("core: activate page %d (%s): %w", p.Index, fnName, err)
+	}
+
 	start := s.cpu.Now()
 	if p.doneAt > start {
 		start = p.doneAt // page logic is busy with a previous activation
@@ -373,7 +421,6 @@ func (s *System) Activate(p *Page, fnName string, args ...uint64) error {
 	if res.ReadyAt > start {
 		start = res.ReadyAt // waiting on mediated inter-page data
 	}
-	busy := s.logicClock.Cycles(res.LogicCycles)
 	p.doneAt = start + busy
 
 	// Coherence: drop any cached copies of the bytes the function rewrote.

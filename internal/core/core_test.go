@@ -1,15 +1,61 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
+	"activepages/internal/backend"
 	"activepages/internal/logic"
 	"activepages/internal/mem"
 	"activepages/internal/memsys"
 	"activepages/internal/proc"
 	"activepages/internal/sim"
 )
+
+// testModel is a package-local ComputeBackend with the RADram reference
+// semantics (divided CPU clock, LE area budget, cycle-count pricing), so
+// the core tests exercise the runtime without depending on an
+// implementation package.
+type testModel struct{}
+
+func (testModel) Name() string { return "test" }
+
+func (testModel) Spec() backend.Spec { return backend.Spec{Name: "test"} }
+
+func (testModel) ComputePeriod(p backend.Params) sim.Duration {
+	return p.CPUPeriod * sim.Duration(p.LogicDivisor)
+}
+
+func (testModel) CheckBind(p backend.Params, set []backend.Binding) error {
+	total := 0
+	for _, b := range set {
+		total += logic.Synthesize(b.Design).LEs
+	}
+	if total > logic.PageLEBudget {
+		return fmt.Errorf("function set needs %d LEs, budget is %d", total, logic.PageLEBudget)
+	}
+	return nil
+}
+
+func (testModel) BindCost(p backend.Params, set []backend.Binding, clock sim.Clock) sim.Duration {
+	var d sim.Duration
+	for _, b := range set {
+		d += logic.ReconfigurationTime(logic.Synthesize(b.Design), clock)
+	}
+	return d
+}
+
+func (testModel) Busy(p backend.Params, w backend.Work, clock sim.Clock) (sim.Duration, error) {
+	return clock.Cycles(w.LogicCycles), nil
+}
+
+// testConfig is DefaultConfig with the test backend installed.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Backend = testModel{}
+	return cfg
+}
 
 // fillFn is a toy Active-Page function: fill a region with a byte and burn
 // one logic cycle per byte.
@@ -54,7 +100,7 @@ func newSys(t *testing.T) *System {
 	t.Helper()
 	store := mem.NewStore()
 	cpu := proc.New(proc.DefaultConfig(), memsys.New(memsys.DefaultConfig()), store)
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	cfg.PageBytes = 64 * 1024 // keep tests light
 	s, err := NewSystem(cfg, cpu)
 	if err != nil {
@@ -66,20 +112,24 @@ func newSys(t *testing.T) *System {
 func TestConfigValidation(t *testing.T) {
 	store := mem.NewStore()
 	cpu := proc.New(proc.DefaultConfig(), memsys.New(memsys.DefaultConfig()), store)
-	bad := DefaultConfig()
+	bad := testConfig()
 	bad.PageBytes = 1000
 	if _, err := NewSystem(bad, cpu); err == nil {
 		t.Error("non-power-of-two page size accepted")
 	}
-	bad = DefaultConfig()
+	bad = testConfig()
 	bad.LogicDivisor = 0
 	if _, err := NewSystem(bad, cpu); err == nil {
 		t.Error("zero logic divisor accepted")
 	}
-	bad = DefaultConfig()
+	bad = testConfig()
 	bad.ActivationWords = 0
 	if _, err := NewSystem(bad, cpu); err == nil {
 		t.Error("zero activation words accepted")
+	}
+	bad = DefaultConfig()
+	if _, err := NewSystem(bad, cpu); err == nil {
+		t.Error("nil compute backend accepted")
 	}
 }
 
@@ -378,7 +428,7 @@ func TestContextAccessors(t *testing.T) {
 func TestBindChargesReconfigWhenConfigured(t *testing.T) {
 	store := mem.NewStore()
 	cpu := proc.New(proc.DefaultConfig(), memsys.New(memsys.DefaultConfig()), store)
-	cfg := DefaultConfig()
+	cfg := testConfig()
 	cfg.PageBytes = 64 * 1024
 	cfg.ChargeBind = true
 	s, err := NewSystem(cfg, cpu)

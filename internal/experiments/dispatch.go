@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"activepages/internal/apps"
 	"activepages/internal/radram"
 	"activepages/internal/run"
 	"activepages/internal/tabler"
@@ -26,12 +27,17 @@ type Options struct {
 	L2 bool
 	// CSVDir, when set, also writes each figure as CSV into the directory.
 	CSVDir string
+	// Backend selects the Active-Page compute backend: "radram" (the
+	// default when empty), "simdram", or "all" to run every backend in
+	// sequence. Experiments that only make sense on RADram print a
+	// deterministic skip note on other backends.
+	Backend string
 }
 
 // IsKnown reports whether name is a dispatchable experiment: "all", a
-// composite experiment, or a benchmark name.
+// composite experiment, the backends study, or a benchmark name.
 func IsKnown(name string) bool {
-	if name == "all" {
+	if name == "all" || name == "backends" {
 		return true
 	}
 	for _, e := range All {
@@ -65,6 +71,42 @@ func writeCSV(dir, name string, f *tabler.Figure) error {
 // by the apbench CLI and the apserved daemon; out receives exactly what
 // apbench historically printed to stdout.
 func Dispatch(out io.Writer, r *run.Runner, experiment string, cfg radram.Config, points []float64, opt Options) error {
+	bk := opt.Backend
+	if bk == "" {
+		bk = "radram"
+	}
+	if bk != "all" {
+		if _, err := BackendByName(bk); err != nil {
+			return err
+		}
+	}
+	// The backends study is inherently three-way; it ignores the backend
+	// selector.
+	if experiment == "backends" {
+		return runBackendsStudy(out, r, cfg, points, opt)
+	}
+	if bk == "all" {
+		for _, name := range BackendNames() {
+			fmt.Fprintf(out, "\n***** backend: %s *****\n", name)
+			o := opt
+			o.Backend = name
+			if err := Dispatch(out, r, experiment, cfg, points, o); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	bcfg, err := configFor(cfg, bk)
+	if err != nil {
+		return err
+	}
+	if bk != "radram" {
+		if why, ok := radramOnly[experiment]; ok {
+			fmt.Fprintf(out, "%s: skipped for backend %s (%s)\n", experiment, bk, why)
+			return nil
+		}
+	}
+	cfg = bcfg
 	switch experiment {
 	case "table1":
 		Table1(cfg).WriteTo(out)
@@ -84,7 +126,7 @@ func Dispatch(out io.Writer, r *run.Runner, experiment string, cfg radram.Config
 			return err
 		}
 		if experiment == "fig3" {
-			f := Figure3(sweeps)
+			f := Figure3For(sweeps, backendLabel(bk))
 			f.WriteTo(out)
 			if err := writeCSV(opt.CSVDir, "fig3", f); err != nil {
 				return err
@@ -95,7 +137,7 @@ func Dispatch(out io.Writer, r *run.Runner, experiment string, cfg radram.Config
 				}
 			}
 		} else {
-			f := Figure4(sweeps)
+			f := Figure4For(sweeps, backendLabel(bk))
 			f.WriteTo(out)
 			if err := writeCSV(opt.CSVDir, "fig4", f); err != nil {
 				return err
@@ -186,20 +228,33 @@ func Dispatch(out io.Writer, r *run.Runner, experiment string, cfg radram.Config
 				return err
 			}
 		}
+		// The three-way study joins the suite once a second backend is in
+		// play; the default RADram-only run stays exactly the historical
+		// output.
+		if bk != "radram" {
+			fmt.Fprintf(out, "\n##### backends #####\n")
+			if err := Dispatch(out, r, "backends", cfg, points, opt); err != nil {
+				return err
+			}
+		}
 	default:
 		// Any benchmark name is an experiment: sweep that benchmark alone
 		// over the problem-size axis.
 		b, berr := BenchmarkByName(experiment)
 		if berr != nil {
-			return fmt.Errorf("unknown experiment %q (want all, %s, or a benchmark: %s)",
+			return fmt.Errorf("unknown experiment %q (want all, backends, %s, or a benchmark: %s)",
 				experiment, strings.Join(All, ", "),
 				strings.Join(BenchmarkNames(), ", "))
+		}
+		if !apps.Supports(b, bk) {
+			return fmt.Errorf("benchmark %q has no %s port (ported: %s)",
+				experiment, bk, strings.Join(portedNames(bk), ", "))
 		}
 		s, err := RunSweep(r, b, cfg, points)
 		if err != nil {
 			return err
 		}
-		f := Figure3([]*Sweep{s})
+		f := Figure3For([]*Sweep{s}, backendLabel(bk))
 		f.WriteTo(out)
 		if err := writeCSV(opt.CSVDir, experiment, f); err != nil {
 			return err

@@ -147,11 +147,12 @@ func RunSweep(r *run.Runner, b apps.Benchmark, cfg radram.Config, pages []float6
 	return &Sweep{Benchmark: b.Name(), Pages: pages, Points: points}, nil
 }
 
-// RunAllSweeps measures every benchmark (the full Figure 3/4 dataset).
+// RunAllSweeps measures every benchmark the configured backend supports
+// (the full Figure 3/4 dataset on RADram; the ported subset elsewhere).
 // The whole benchmarks-by-pages grid is one flat slice of independent
 // points, so the worker pool load-balances across it.
 func RunAllSweeps(r *run.Runner, cfg radram.Config, pages []float64) ([]*Sweep, error) {
-	bs := Benchmarks()
+	bs := backendBenchmarks(cfg.BackendName())
 	grid, err := run.Map(r, len(bs)*len(pages), func(i int) (apps.Measurement, error) {
 		return measure(r, bs[i/len(pages)], cfg, pages[i%len(pages)])
 	})

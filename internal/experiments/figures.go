@@ -10,10 +10,17 @@ import (
 	"activepages/internal/tabler"
 )
 
-// Figure3 renders the speedup-versus-problem-size sweep.
+// Figure3 renders the speedup-versus-problem-size sweep for RADram.
 func Figure3(sweeps []*Sweep) *tabler.Figure {
-	f := tabler.NewFigure("Figure 3: RADram speedup as problem size varies",
-		"pages", "speedup (conventional/RADram)")
+	return Figure3For(sweeps, "RADram")
+}
+
+// Figure3For renders the speedup sweep for the named Active-Page
+// backend.
+func Figure3For(sweeps []*Sweep, label string) *tabler.Figure {
+	f := tabler.NewFigure(
+		fmt.Sprintf("Figure 3: %s speedup as problem size varies", label),
+		"pages", fmt.Sprintf("speedup (conventional/%s)", label))
 	if len(sweeps) > 0 {
 		f.X = sweeps[0].Pages
 	}
@@ -23,9 +30,15 @@ func Figure3(sweeps []*Sweep) *tabler.Figure {
 	return f
 }
 
-// Figure4 renders the processor-stall sweep.
+// Figure4 renders the processor-stall sweep for RADram.
 func Figure4(sweeps []*Sweep) *tabler.Figure {
-	f := tabler.NewFigure("Figure 4: percent cycles processor stalled on RADram",
+	return Figure4For(sweeps, "RADram")
+}
+
+// Figure4For renders the processor-stall sweep for the named backend.
+func Figure4For(sweeps []*Sweep, label string) *tabler.Figure {
+	f := tabler.NewFigure(
+		fmt.Sprintf("Figure 4: percent cycles processor stalled on %s", label),
 		"pages", "% cycles stalled")
 	if len(sweeps) > 0 {
 		f.X = sweeps[0].Pages

@@ -20,6 +20,7 @@ package radram
 import (
 	"fmt"
 
+	"activepages/internal/backend"
 	"activepages/internal/core"
 	"activepages/internal/mem"
 	"activepages/internal/memsys"
@@ -35,13 +36,32 @@ type Config struct {
 	AP  core.Config
 }
 
-// DefaultConfig returns the Table 1 reference machine.
+// DefaultConfig returns the Table 1 reference machine with the RADram
+// compute backend installed.
 func DefaultConfig() Config {
-	return Config{
+	cfg := Config{
 		CPU: proc.DefaultConfig(),
 		Mem: memsys.DefaultConfig(),
 		AP:  core.DefaultConfig(),
 	}
+	cfg.AP.Backend = CostModel{}
+	return cfg
+}
+
+// WithBackend returns the configuration with a different compute backend
+// installed in the Active-Page system (nil restores the RADram model in
+// New).
+func (c Config) WithBackend(b backend.ComputeBackend) Config {
+	c.AP.Backend = b
+	return c
+}
+
+// BackendName reports which compute backend the configuration selects.
+func (c Config) BackendName() string {
+	if c.AP.Backend == nil {
+		return CostModel{}.Name()
+	}
+	return c.AP.Backend.Name()
 }
 
 // WithL1D returns the configuration with the L1 data cache resized
@@ -103,8 +123,13 @@ func NewConventional(cfg Config) *Machine {
 	return &Machine{Config: cfg, Store: store, Hier: hier, CPU: cpu}
 }
 
-// New builds a machine with a RADram Active-Page memory system.
+// New builds a machine with an Active-Page memory system. The compute
+// backend is cfg.AP.Backend; a nil backend selects the RADram cost model,
+// so hand-built Configs keep their historical meaning.
 func New(cfg Config) (*Machine, error) {
+	if cfg.AP.Backend == nil {
+		cfg.AP.Backend = CostModel{}
+	}
 	m := NewConventional(cfg)
 	ap, err := core.NewSystem(cfg.AP, m.CPU)
 	if err != nil {
@@ -156,6 +181,15 @@ func (m *Machine) FlushTrace() { m.CPU.FlushTrace() }
 
 // PageBytes returns the machine's superpage size.
 func (m *Machine) PageBytes() uint64 { return m.Config.AP.PageBytes }
+
+// BackendName reports the machine's compute backend; a conventional
+// machine (no Active-Page system) reports "conventional".
+func (m *Machine) BackendName() string {
+	if m.AP == nil {
+		return "conventional"
+	}
+	return m.AP.Backend().Name()
+}
 
 // Elapsed returns the processor's current time — the execution time of
 // whatever workload has been run on the machine.

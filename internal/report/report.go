@@ -63,10 +63,41 @@ type Report struct {
 	Benchmarks []Benchmark
 }
 
-// machinePrefixes are the snapshot prefixes one benchmark run produces
-// (apps.MeasureObserved tags the conventional machine "conv." and the
-// RADram machine "rad.").
-var machinePrefixes = []string{"conv", "rad"}
+// machinePrefixes are the snapshot prefixes one benchmark run produces:
+// apps.MeasureObserved tags the conventional machine "conv." and the
+// Active-Page machine with its backend namespace — the historical "rad."
+// for RADram, the backend's own name otherwise.
+var machinePrefixes = []string{"conv", "rad", "simdram"}
+
+// BackendOf identifies which Active-Page backend produced a snapshot by
+// looking for each machine namespace among the metric keys ("rad." is
+// RADram's historical prefix). A snapshot that merged runs from several
+// backends reports them joined with "+"; one with no Active-Page rows at
+// all returns "".
+func BackendOf(s obs.Snapshot) string {
+	found := map[string]bool{}
+	for k := range s {
+		for _, m := range machinePrefixes {
+			if m == "conv" {
+				continue
+			}
+			if strings.HasPrefix(k, m+".") || strings.Contains(k, "."+m+".") {
+				found[m] = true
+			}
+		}
+	}
+	var out []string
+	for _, m := range machinePrefixes {
+		if found[m] {
+			name := m
+			if m == "rad" {
+				name = "radram"
+			}
+			out = append(out, name)
+		}
+	}
+	return strings.Join(out, "+")
+}
 
 // phaseFrom extracts one machine's phase breakdown from a snapshot.
 func phaseFrom(s obs.Snapshot, machine string) Phase {

@@ -18,6 +18,7 @@
 package run
 
 import (
+	"activepages/internal/backend"
 	"activepages/internal/core"
 	"activepages/internal/cpu"
 	"activepages/internal/mem"
@@ -66,14 +67,34 @@ func MustNew(cfg radram.Config) *Machine {
 	return m
 }
 
-// NewPair builds the conventional/RADram machine pair every application
-// study measures: two fully isolated instances of the same configuration.
-func NewPair(cfg radram.Config) (conv, rad *Machine, err error) {
-	rad, err = New(cfg)
+// NewMachines builds an N-way machine set from one configuration: a
+// conventional machine at index 0, then one Active-Page machine per
+// compute backend, in argument order. Every machine is a fully isolated
+// instance — its own store, hierarchy, and processor — so a multi-
+// backend study measures each implementation on identical footing.
+func NewMachines(cfg radram.Config, backends ...backend.ComputeBackend) ([]*Machine, error) {
+	ms := make([]*Machine, 0, len(backends)+1)
+	ms = append(ms, NewConventional(cfg))
+	for _, b := range backends {
+		m, err := New(cfg.WithBackend(b))
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, m)
+	}
+	return ms, nil
+}
+
+// NewPair builds the conventional/Active-Page machine pair every
+// application study measures: two fully isolated instances of the same
+// configuration, the Active-Page side on the configuration's backend
+// (RADram when unset).
+func NewPair(cfg radram.Config) (conv, ap *Machine, err error) {
+	ms, err := NewMachines(cfg, cfg.AP.Backend)
 	if err != nil {
 		return nil, nil, err
 	}
-	return NewConventional(cfg), rad, nil
+	return ms[0], ms[1], nil
 }
 
 // Snapshot reads the machine's merged metrics.
@@ -106,6 +127,9 @@ type Cluster struct {
 
 // NewCluster builds an n-processor SMP machine from cfg.
 func NewCluster(cfg radram.Config, n int) (*Cluster, error) {
+	if cfg.AP.Backend == nil {
+		cfg.AP.Backend = radram.CostModel{}
+	}
 	c := &Cluster{
 		Config:  cfg,
 		Store:   mem.NewStore(),

@@ -1,10 +1,12 @@
 package run
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"activepages/internal/radram"
@@ -177,5 +179,39 @@ func TestClusterWiring(t *testing.T) {
 	}
 	if got := c.Metrics.Snapshot()["proc.instructions"]; got != 50 {
 		t.Fatalf("cluster merged proc.instructions = %d, want 50", got)
+	}
+}
+
+// TestMapCancellation: a canceled runner context stops the sweep at
+// point granularity — points not yet started fail with the context's
+// error instead of simulating, and Map reports the cancellation.
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	r := &Runner{Jobs: 1, Context: ctx}
+	_, err := Map(r, 10, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 2 {
+			cancel() // the abandoning caller, e.g. apserved's RunTimeout
+		}
+		return i, nil
+	})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Map err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("%d points ran after cancellation at point 2, want 3", got)
+	}
+}
+
+// TestMapNilContext: a runner without a context never reports
+// cancellation.
+func TestMapNilContext(t *testing.T) {
+	out, err := Map(&Runner{Jobs: 4}, 8, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	if len(out) != 8 {
+		t.Fatalf("got %d results, want 8", len(out))
 	}
 }

@@ -1,6 +1,7 @@
 package run
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -18,6 +19,11 @@ type Runner struct {
 	// Metrics, when set, accumulates the merged metrics snapshot of every
 	// observed run.
 	Metrics *Collector
+	// Context, when set, cancels a sweep between points: Map checks it
+	// before dispatching each index, so an abandoned run stops at
+	// experiment-point granularity instead of simulating to completion.
+	// An individual simulation point is still uninterruptible.
+	Context context.Context
 }
 
 // Serial returns a single-worker runner.
@@ -38,6 +44,14 @@ func (r *Runner) jobs() int {
 		return 1
 	}
 	return r.Jobs
+}
+
+// interrupted reports the runner's cancellation state, nil-safe.
+func (r *Runner) interrupted() error {
+	if r == nil || r.Context == nil {
+		return nil
+	}
+	return r.Context.Err()
 }
 
 // Collect merges a run's metrics snapshot into the runner's collector, if
@@ -80,11 +94,20 @@ func (e *PanicError) Error() string {
 // recovered into a *PanicError instead of killing the sweep. If any
 // point fails, Map returns the error of the lowest failing index
 // (deterministic regardless of scheduling) alongside the partial results.
+//
+// When the runner carries a Context, each point checks it before
+// starting: after cancellation the remaining points fail immediately
+// with the context's error, so an abandoned sweep unwinds at point
+// granularity.
 func Map[T any](r *Runner, n int, fn func(i int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	errs := make([]error, n)
 
 	call := func(i int) {
+		if err := r.interrupted(); err != nil {
+			errs[i] = fmt.Errorf("run canceled: %w", err)
+			return
+		}
 		defer func() {
 			if v := recover(); v != nil {
 				errs[i] = &PanicError{Index: i, Value: v, Stack: debug.Stack()}

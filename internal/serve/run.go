@@ -38,6 +38,9 @@ type Request struct {
 	Regions bool `json:"regions,omitempty"`
 	// L2 makes fig5 sweep the L2 instead of the L1D (apbench -l2).
 	L2 bool `json:"l2,omitempty"`
+	// Backend selects the Active-Page compute backend (apbench -backend):
+	// "radram" (the default when empty), "simdram", or "all".
+	Backend string `json:"backend,omitempty"`
 }
 
 // Run is one submitted experiment and everything it produced. The struct
@@ -162,6 +165,11 @@ func (req Request) validate(known func(string) bool) error {
 	if req.PageBytes != 0 && (req.PageBytes&(req.PageBytes-1)) != 0 {
 		return fmt.Errorf("page_bytes must be a power of two, got %d", req.PageBytes)
 	}
+	switch req.Backend {
+	case "", "radram", "simdram", "all":
+	default:
+		return fmt.Errorf("unknown backend %q (want radram, simdram, or all)", req.Backend)
+	}
 	return nil
 }
 
@@ -174,6 +182,9 @@ func (req Request) String() string {
 	}
 	if req.PageBytes != 0 {
 		fmt.Fprintf(&b, " pagebytes=%d", req.PageBytes)
+	}
+	if req.Backend != "" {
+		fmt.Fprintf(&b, " backend=%s", req.Backend)
 	}
 	return b.String()
 }

@@ -21,6 +21,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -250,9 +251,11 @@ func (s *Server) execute(id string) {
 		err    error
 	}
 	done := make(chan result, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	go func() {
 		var buf bytes.Buffer
-		runner := (&run.Runner{Jobs: s.cfg.JobsPerRun}).WithMetrics()
+		runner := (&run.Runner{Jobs: s.cfg.JobsPerRun, Context: ctx}).WithMetrics()
 		cfg := radram.DefaultConfig().WithPageBytes(experiments.ScaledPageBytes)
 		if req.PageBytes != 0 {
 			cfg = radram.DefaultConfig().WithPageBytes(req.PageBytes)
@@ -261,7 +264,7 @@ func (s *Server) execute(id string) {
 		if req.Quick {
 			points = experiments.QuickPagePoints()
 		}
-		opt := experiments.Options{Regions: req.Regions, L2: req.L2}
+		opt := experiments.Options{Regions: req.Regions, L2: req.L2, Backend: req.Backend}
 		err := experiments.Dispatch(&buf, runner, req.Experiment, cfg, points, opt)
 		done <- result{buf.Bytes(), runner.Metrics.Snapshot(), runner.Metrics.Groups(), err}
 	}()
@@ -288,11 +291,14 @@ func (s *Server) execute(id string) {
 		s.finish(id, StateDone, "", elapsed)
 		s.log.Info("run done", "id", id, "elapsed_ms", elapsed.Milliseconds(), "output_bytes", len(res.out))
 	case <-timer.C:
-		// The simulation has no cancellation points, so the worker abandons
-		// the dispatch goroutine: it runs to completion in the background
-		// and its result is discarded (done is buffered, so its send never
-		// blocks). The leak is deliberate — bounding worker occupancy is
-		// what keeps the pool live — and visible in go_goroutines.
+		// Cancel the abandoned dispatch: the run layer checks the context
+		// between experiment points, so the goroutine unwinds once the
+		// point in flight finishes instead of simulating the whole
+		// experiment to completion. Its result is discarded (done is
+		// buffered, so the send never blocks), and the lingering point —
+		// individual points are uninterruptible — stays visible in
+		// go_goroutines until it drains.
+		cancel()
 		s.runsFailed.Inc()
 		s.finish(id, StateFailed,
 			fmt.Sprintf("timed out after %s (simulation abandoned)", s.cfg.RunTimeout), s.cfg.RunTimeout)
@@ -310,12 +316,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// backendSlices maps each Active-Page backend name to the machine
+// prefix its run metrics carry inside a snapshot (apps.MeasureObserved
+// tags RADram machines with the historical "rad.").
+var backendSlices = []struct{ name, prefix string }{
+	{"radram", "rad."},
+	{"simdram", "simdram."},
+}
+
 // MetricsSnapshot returns everything /metrics renders: the live service
-// registry merged with the aggregate of every completed run under the
-// "run." prefix. Safe to call while runs are in flight.
+// registry, the aggregate of every completed run under the "run."
+// prefix, and each backend's slice of that aggregate re-keyed under the
+// backend's own name (so RADram rows surface as ap_radram_* and SIMDRAM
+// rows as ap_simdram_* in the exposition). Safe to call while runs are
+// in flight.
 func (s *Server) MetricsSnapshot() obs.Snapshot {
 	snap := s.live.Snapshot()
-	snap.Merge(s.agg.Snapshot().WithPrefix("run."))
+	agg := s.agg.Snapshot()
+	snap.Merge(agg.WithPrefix("run."))
+	for _, b := range backendSlices {
+		sub := obs.Snapshot{}
+		for k, v := range agg {
+			if strings.HasPrefix(k, b.prefix) {
+				sub[b.name+"."+strings.TrimPrefix(k, b.prefix)] = v
+			}
+		}
+		snap.Merge(sub)
+	}
 	return snap
 }
 

@@ -166,6 +166,7 @@ func TestSubmitValidation(t *testing.T) {
 		`not json`,
 		`{"experiment":"array","nope":1}`,
 		`{"experiment":"array","page_bytes":3000}`,
+		`{"experiment":"array","backend":"fpga"}`,
 	} {
 		if resp, _ := submit(t, ts, body); resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("submit(%s): HTTP %d, want 400", body, resp.StatusCode)
@@ -357,5 +358,50 @@ func TestRequestString(t *testing.T) {
 	req := Request{Experiment: "fig3", Quick: true, PageBytes: 4096}
 	if got := req.String(); got != "fig3 quick pagebytes=4096" {
 		t.Errorf("String() = %q", got)
+	}
+	req = Request{Experiment: "array", Backend: "simdram"}
+	if got := req.String(); got != "array backend=simdram" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// TestSimdramRunMetrics submits a SIMDRAM-backend run and checks that
+// its metrics land in the backend's own namespace: the run snapshot
+// carries "simdram." machine rows, and the daemon /metrics scrape
+// surfaces them as ap_simdram_* alongside the run. aggregate.
+func TestSimdramRunMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, JobsPerRun: 2}, true)
+
+	resp, rn := submit(t, ts, `{"experiment":"array","quick":true,"backend":"simdram"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	if final := waitDone(t, ts, rn.ID); final.State != StateDone {
+		t.Fatalf("run finished %s: %s", final.State, final.Error)
+	}
+
+	code, data := get(t, ts.URL+"/api/v1/runs/"+rn.ID+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("run metrics: HTTP %d", code)
+	}
+	snap, err := report.ParseMetrics(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := report.BackendOf(snap); got != "simdram" {
+		t.Errorf("BackendOf(run metrics) = %q, want simdram", got)
+	}
+
+	code, data = get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", code)
+	}
+	for _, want := range []string{"ap_simdram_proc_compute_ns ", "ap_run_conv_proc_compute_ns "} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if bytes.Contains(data, []byte("ap_radram_")) {
+		t.Error("/metrics has ap_radram_ rows from a simdram-only run")
 	}
 }

@@ -1,0 +1,174 @@
+package simdram
+
+import (
+	"math/bits"
+	"testing"
+
+	"activepages/internal/backend"
+	"activepages/internal/sim"
+)
+
+func refParams() backend.Params {
+	return backend.Params{
+		CPUPeriod:    sim.Nanosecond,
+		PageBytes:    64 * 1024,
+		LogicDivisor: 10,
+	}
+}
+
+func port(w int) *backend.BitSerial {
+	return &backend.BitSerial{Width: w, TempRows: TempRowsFor(w)}
+}
+
+// TestBackendConformance runs the shared backend contract against the
+// SIMDRAM cost model.
+func TestBackendConformance(t *testing.T) {
+	backend.RunConformance(t, Default(), backend.ConformanceCase{
+		Params: refParams(),
+		// 32-bit + 16-bit reservations (40 + 24 rows) fit the 96-row pool;
+		// three 32-bit functions (120 rows) must not.
+		OKBind: []backend.Binding{
+			{Name: "a", BitSerial: port(32)},
+			{Name: "b", BitSerial: port(16)},
+		},
+		OverBind: []backend.Binding{
+			{Name: "a", BitSerial: port(32)},
+			{Name: "b", BitSerial: port(32)},
+			{Name: "c", BitSerial: port(32)},
+		},
+		Work: []backend.Work{
+			{Ops: backend.Ops{Width: 32, Elems: 100, Copies: 1}},
+			{Ops: backend.Ops{Width: 16, Elems: 9000, Cmps: 1, Reduces: 1}},
+			{Ops: backend.Ops{Width: 64, Elems: 1, Adds: 3, Bools: 2, Nots: 1}},
+		},
+	})
+}
+
+// refAAPs is an independent statement of the bit-serial cost model, kept
+// deliberately separate from the implementation: per-element AAP counts
+// scale linearly with operand width, the element axis quantizes into
+// full-subarray waves, and each reduction is a ceil(log2(lanes))-deep
+// adder tree.
+func refAAPs(c CostModel, o backend.Ops) uint64 {
+	w := uint64(o.Width)
+	if c.ForceWidth > 0 {
+		w = uint64(c.ForceWidth)
+	}
+	if w == 0 {
+		w = 32
+	}
+	perElem := w * (o.Copies*CopyAAPsPerBit + o.Nots*NotAAPsPerBit +
+		o.Bools*BoolAAPsPerBit + o.Adds*AddAAPsPerBit + o.Cmps*CmpAAPsPerBit)
+	lanes := 8 * c.RowBytes
+	waves := o.Elems / lanes
+	if o.Elems%lanes != 0 {
+		waves++
+	}
+	depth := uint64(bits.Len64(lanes - 1))
+	return waves*perElem + o.Reduces*depth*AddAAPsPerBit*w
+}
+
+// TestAAPsClosedForm pins the implementation against the reference over
+// a deterministic grid of op vectors, widths, and element counts that
+// straddles the wave boundaries.
+func TestAAPsClosedForm(t *testing.T) {
+	c := Default()
+	lanes := c.Lanes()
+	elems := []uint64{1, 7, lanes - 1, lanes, lanes + 1, 3 * lanes, 10*lanes + 13}
+	widths := []int{0, 1, 8, 16, 32, 64}
+	vectors := []backend.Ops{
+		{Copies: 1},
+		{Nots: 2, Bools: 3},
+		{Adds: 1, Cmps: 1},
+		{Copies: 2, Nots: 1, Bools: 5, Adds: 7, Cmps: 6, Reduces: 1},
+		{Reduces: 3},
+	}
+	for _, w := range widths {
+		for _, e := range elems {
+			for _, v := range vectors {
+				o := v
+				o.Width, o.Elems = w, e
+				if got, want := c.AAPs(o), refAAPs(c, o); got != want {
+					t.Fatalf("AAPs(%+v) = %d, want %d", o, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAAPsLinearInWidth pins the defining bit-serial property: forcing
+// twice the operand width exactly doubles every activation's row count.
+func TestAAPsLinearInWidth(t *testing.T) {
+	o := backend.Ops{Elems: 5000, Copies: 1, Adds: 2, Cmps: 1, Reduces: 1}
+	for _, w := range []int{8, 16, 32} {
+		narrow := Default().WithWidth(w).AAPs(o)
+		wide := Default().WithWidth(2 * w).AAPs(o)
+		if wide != 2*narrow {
+			t.Errorf("width %d->%d: AAPs %d -> %d, want exact doubling", w, 2*w, narrow, wide)
+		}
+	}
+}
+
+// TestAAPsWaveQuantization pins the lane-underutilization cliff: one
+// element past a full wave costs a whole extra wave.
+func TestAAPsWaveQuantization(t *testing.T) {
+	c := Default()
+	lanes := c.Lanes()
+	o := backend.Ops{Width: 32, Elems: lanes, Adds: 1}
+	full := c.AAPs(o)
+	o.Elems = lanes + 1
+	if got := c.AAPs(o); got != 2*full {
+		t.Errorf("lanes+1 elems: AAPs = %d, want %d (two waves)", got, 2*full)
+	}
+	// Everything from 1 to lanes elements costs exactly one wave.
+	o.Elems = 1
+	if got := c.AAPs(o); got != full {
+		t.Errorf("1 elem: AAPs = %d, want %d (one full wave)", got, full)
+	}
+}
+
+// TestBusyPricesRowCycles pins Busy = AAPs x the row-op clock.
+func TestBusyPricesRowCycles(t *testing.T) {
+	c := Default()
+	p := refParams()
+	clock := sim.NewClockPeriod(c.ComputePeriod(p))
+	o := backend.Ops{Width: 32, Elems: 100, Cmps: 1, Reduces: 1}
+	got, err := c.Busy(p, backend.Work{Ops: o}, clock)
+	if err != nil {
+		t.Fatalf("Busy: %v", err)
+	}
+	if want := clock.Cycles(c.AAPs(o)); got != want {
+		t.Errorf("Busy = %v, want %v", got, want)
+	}
+}
+
+// TestBusyRejectsUnportedWork pins that an empty op vector — a function
+// that only reported logic cycles — is an error, not a free activation.
+func TestBusyRejectsUnportedWork(t *testing.T) {
+	c := Default()
+	clock := sim.NewClockPeriod(c.ComputePeriod(refParams()))
+	if _, err := c.Busy(refParams(), backend.Work{LogicCycles: 1000}, clock); err == nil {
+		t.Error("Busy accepted work with no op vector")
+	}
+}
+
+// TestCheckBindRejectsRADramOnlyCircuit pins that a binding without a
+// bit-serial port is rejected by name.
+func TestCheckBindRejectsRADramOnlyCircuit(t *testing.T) {
+	c := Default()
+	err := c.CheckBind(refParams(), []backend.Binding{{Name: "mpeg-idct"}})
+	if err == nil {
+		t.Fatal("CheckBind admitted a function with no bit-serial port")
+	}
+}
+
+// TestComputePeriodIgnoresCPUClock pins that the compute clock is the
+// DRAM row-op time, independent of the CPU period and logic divisor.
+func TestComputePeriodIgnoresCPUClock(t *testing.T) {
+	c := Default()
+	a := c.ComputePeriod(backend.Params{CPUPeriod: sim.Nanosecond, LogicDivisor: 10})
+	b := c.ComputePeriod(backend.Params{CPUPeriod: 5 * sim.Nanosecond, LogicDivisor: 77})
+	if a != b || a != c.RowOpTime {
+		t.Errorf("ComputePeriod = %v, %v; want both %v", a, b, c.RowOpTime)
+	}
+}
