@@ -78,6 +78,7 @@ func realMain() error {
 		l2         = flag.Bool("l2", false, "with fig5: sweep the L2 instead of the L1D")
 		csvDir     = flag.String("csv", "", "also write each figure as CSV into this directory")
 		jobs       = flag.Int("jobs", runtime.NumCPU(), "simulation worker-pool width")
+		nocheck    = flag.Bool("nocheckpoint", false, "disable checkpoint/branch sweep reuse (A/B timing)")
 		jsonOut    = flag.Bool("json", false, "append a merged metrics snapshot as JSON")
 		reportOut  = flag.Bool("report", false, "append a bottleneck attribution report")
 		traceFile  = flag.String("trace", "", "write a Chrome trace of one traced run to this file")
@@ -131,6 +132,13 @@ func realMain() error {
 	}
 
 	r := &run.Runner{Jobs: *jobs}
+	if !*nocheck {
+		// Checkpoint/branch: sweep points sharing a canonical configuration
+		// simulate once and branch from the stored machine state. Output is
+		// byte-identical with or without it; -nocheckpoint exists for A/B
+		// timing and bisection.
+		r.Checkpoints = run.NewCheckpointCache(0)
+	}
 	if *jsonOut || *reportOut {
 		r.WithMetrics()
 	}

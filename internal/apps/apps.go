@@ -114,7 +114,16 @@ func Supports(b Benchmark, backendName string) bool {
 // Measure runs b at the given problem size on both machines built from cfg
 // and collects the paper's metrics.
 func Measure(b Benchmark, cfg radram.Config, pages float64) (Measurement, error) {
-	m, _, _, err := measure(b, cfg, pages)
+	return MeasureWith(nil, b, cfg, pages)
+}
+
+// MeasureWith is Measure through a runner: the runner's checkpoint cache
+// (when attached) lets this point reuse the final state of an identical
+// earlier run instead of simulating from cold, and the runner's context is
+// polled from inside the simulation so a canceled sweep point unwinds
+// mid-run. A nil runner measures cold and uncancelable.
+func MeasureWith(r *run.Runner, b Benchmark, cfg radram.Config, pages float64) (Measurement, error) {
+	m, _, _, _, err := measure(r, b, cfg, pages)
 	return m, err
 }
 
@@ -133,28 +142,124 @@ func apPrefix(cfg radram.Config) string {
 // machine's under its backend namespace ("rad." for RADram, else the
 // backend name).
 func MeasureObserved(b Benchmark, cfg radram.Config, pages float64) (Measurement, obs.Snapshot, error) {
-	m, conv, rad, err := measure(b, cfg, pages)
+	return MeasureObservedWith(nil, b, cfg, pages)
+}
+
+// MeasureObservedWith is MeasureObserved through a runner (see
+// MeasureWith). When the runner carries a checkpoint cache, each machine's
+// namespace additionally gets one diag.checkpoint_* event recording how
+// this point was satisfied: checkpoint_cold (a full simulation ran),
+// or checkpoint_hit plus checkpoint_branch (a cached checkpoint was found
+// and successfully restored into a branch machine). Diagnostic keys
+// describe the simulation pipeline, not the simulated machine, so the
+// equivalence suites strip them while -json and /metrics expose them.
+func MeasureObservedWith(r *run.Runner, b Benchmark, cfg radram.Config, pages float64) (Measurement, obs.Snapshot, error) {
+	m, conv, rad, hits, err := measure(r, b, cfg, pages)
 	if err != nil {
 		return m, nil, err
 	}
 	snap := conv.Snapshot().WithPrefix("conv.")
 	snap.Merge(rad.Snapshot().WithPrefix(apPrefix(cfg)))
+	if r.CheckpointCache() != nil {
+		injectCheckpointDiag(snap, "conv.", hits[0])
+		injectCheckpointDiag(snap, apPrefix(cfg), hits[1])
+	}
 	return m, snap, nil
 }
 
-// measure builds the machine pair through the run layer, executes b on
-// both, and extracts the paper's metrics.
-func measure(b Benchmark, cfg radram.Config, pages float64) (Measurement, *run.Machine, *run.Machine, error) {
-	conv, rad, err := run.NewPair(cfg)
+// injectCheckpointDiag records how one machine run of a measured point was
+// satisfied, in the machine's diagnostic namespace.
+func injectCheckpointDiag(snap obs.Snapshot, prefix string, hit bool) {
+	d := prefix + obs.DiagPrefix
+	if hit {
+		snap[d+"checkpoint_hit"]++
+		snap[d+"checkpoint_branch"]++
+	} else {
+		snap[d+"checkpoint_cold"]++
+	}
+}
+
+// runMachine produces a machine holding the final state of b run at the
+// given problem size: through the runner's checkpoint cache when one is
+// attached (simulating cold exactly once per canonical key and branching
+// every other request from the stored checkpoint), from cold otherwise.
+// build constructs the right fresh machine shape; key is the run's
+// canonical checkpoint key.
+func runMachine(r *run.Runner, b Benchmark, pages float64, key string,
+	build func() (*run.Machine, error)) (*run.Machine, bool, error) {
+	hook := r.InterruptHook()
+	cold := func() (*run.Machine, error) {
+		m, err := build()
+		if err != nil {
+			return nil, err
+		}
+		m.CPU.Interrupt = hook
+		if err := b.Run(m.Machine, pages); err != nil {
+			return nil, fmt.Errorf("%s (%s, %g pages): %w", b.Name(), m.BackendName(), pages, err)
+		}
+		m.CPU.Interrupt = nil
+		return m, nil
+	}
+	cache := r.CheckpointCache()
+	if cache == nil {
+		m, err := cold()
+		return m, false, err
+	}
+	var coldMachine *run.Machine
+	ckpt, hit, err := cache.Do(key, func() (*radram.Checkpoint, error) {
+		m, err := cold()
+		if err != nil {
+			return nil, err
+		}
+		coldMachine = m
+		return m.Machine.Checkpoint(), nil
+	})
 	if err != nil {
-		return Measurement{}, nil, nil, err
+		return nil, false, err
 	}
-	if err := b.Run(conv.Machine, pages); err != nil {
-		return Measurement{}, nil, nil, fmt.Errorf("%s (conventional, %g pages): %w", b.Name(), pages, err)
+	if !hit {
+		return coldMachine, false, nil
 	}
-	if err := b.Run(rad.Machine, pages); err != nil {
-		return Measurement{}, nil, nil, fmt.Errorf("%s (%s, %g pages): %w", b.Name(), rad.BackendName(), pages, err)
+	// Branch: a fresh machine of the same shape adopts the cached final
+	// state. Its metrics registry reads the restored components, so its
+	// snapshot is byte-identical to the cold run's.
+	m, err := build()
+	if err != nil {
+		return nil, false, err
 	}
+	if err := m.Machine.Restore(ckpt); err != nil {
+		return nil, false, err
+	}
+	return m, true, nil
+}
+
+// measure builds the machine pair through the run layer, executes b on
+// both (or branches either side from the runner's checkpoint cache), and
+// extracts the paper's metrics. hits reports per machine — conventional
+// then Active-Page — whether the state came from a checkpoint branch.
+func measure(r *run.Runner, b Benchmark, cfg radram.Config, pages float64) (Measurement, *run.Machine, *run.Machine, [2]bool, error) {
+	var hits [2]bool
+	conv, convHit, err := runMachine(r, b, pages,
+		run.ConvCheckpointKey(b.Name(), pages, cfg),
+		func() (*run.Machine, error) { return run.NewConventional(cfg), nil })
+	if err != nil {
+		return Measurement{}, nil, nil, hits, err
+	}
+	// Poll between the pair's runs so a cancellation arriving while the
+	// conventional side was branching (no simulation to poll from) still
+	// stops before the Active-Page simulation starts.
+	if hook := r.InterruptHook(); hook != nil {
+		if cerr := hook(); cerr != nil {
+			return Measurement{}, nil, nil, hits, fmt.Errorf("run canceled: %w", cerr)
+		}
+	}
+	rad, apHit, err := runMachine(r, b, pages,
+		run.APCheckpointKey(b.Name(), pages, cfg),
+		func() (*run.Machine, error) { return run.New(cfg) })
+	if err != nil {
+		return Measurement{}, nil, nil, hits, err
+	}
+	hits = [2]bool{convHit, apHit}
 
 	meas := Measurement{
 		Benchmark:  b.Name(),
@@ -194,7 +299,7 @@ func measure(b Benchmark, cfg radram.Config, pages float64) (Measurement, *run.M
 			meas.PostTime = (post - actTotal) / sim.Duration(nPages)
 		}
 	}
-	return meas, conv, rad, nil
+	return meas, conv, rad, hits, nil
 }
 
 // KnownGroups lists every group id a benchmark may allocate, so Measure

@@ -1,0 +1,24 @@
+package bus
+
+import "activepages/internal/obs"
+
+// Checkpoint is a value snapshot of the bus's full simulated state: the
+// traffic counters and the transfer histogram. The bus is otherwise
+// stateless (configuration is immutable), so this is everything Restore
+// needs to resume byte-identically.
+type Checkpoint struct {
+	stats Stats
+	hist  obs.HistCheckpoint
+}
+
+// Checkpoint captures the bus state.
+func (b *Bus) Checkpoint() Checkpoint {
+	return Checkpoint{stats: b.Stats, hist: b.hist.Checkpoint()}
+}
+
+// Restore overwrites the bus state with a checkpoint taken from a bus of
+// the same configuration.
+func (b *Bus) Restore(c Checkpoint) {
+	b.Stats = c.stats
+	b.hist.Restore(c.hist)
+}

@@ -57,6 +57,12 @@ type FoldSnapshot struct {
 // Stats returns the statistics captured with the snapshot.
 func (s *FoldSnapshot) Stats() Stats { return s.stats }
 
+// Bytes estimates the snapshot's host-memory footprint, for checkpoint
+// cache accounting.
+func (s *FoldSnapshot) Bytes() uint64 {
+	return uint64(len(s.lines))*32 + uint64(len(s.mru))*4
+}
+
 // Clock returns the LRU clock captured with the snapshot.
 func (s *FoldSnapshot) Clock() uint64 { return s.clock }
 
@@ -79,6 +85,21 @@ func (c *Cache) SnapshotInto(s *FoldSnapshot) {
 	copy(s.mru, c.mru)
 	s.clock = c.clock
 	s.stats = c.Stats
+}
+
+// Restore overwrites the cache's full replacement state with a snapshot
+// previously captured by SnapshotInto from a cache of identical geometry
+// (set count and associativity). It is the state half of the machine
+// checkpoint/branch API; callers guarantee the geometry match by building
+// the target cache from the same configuration.
+func (c *Cache) Restore(s *FoldSnapshot) {
+	assoc := c.cfg.Assoc
+	for i, set := range c.sets {
+		copy(set, s.lines[i*assoc:(i+1)*assoc])
+	}
+	copy(c.mru, s.mru)
+	c.clock = s.clock
+	c.Stats = s.stats
 }
 
 // touchedBit reports whether set s is marked in the bitmap.

@@ -117,9 +117,9 @@ func (s *Sweep) NonOverlaps() []float64 {
 // It is the single simulation entry point for every sweep in this package.
 func measure(r *run.Runner, b apps.Benchmark, cfg radram.Config, pages float64) (apps.Measurement, error) {
 	if r == nil || r.Metrics == nil {
-		return apps.Measure(b, cfg, pages)
+		return apps.MeasureWith(r, b, cfg, pages)
 	}
-	m, snap, err := apps.MeasureObserved(b, cfg, pages)
+	m, snap, err := apps.MeasureObservedWith(r, b, cfg, pages)
 	if err != nil {
 		return m, err
 	}
@@ -127,13 +127,15 @@ func measure(r *run.Runner, b apps.Benchmark, cfg radram.Config, pages float64) 
 	return m, nil
 }
 
-// serially returns a single-worker runner sharing r's metrics sink, for
-// loops nested inside an already-parallel Map.
+// serially returns a single-worker runner sharing r's metrics sink,
+// checkpoint cache, and cancellation context, for loops nested inside an
+// already-parallel Map.
 func serially(r *run.Runner) *run.Runner {
 	if r == nil {
 		return nil
 	}
-	return &run.Runner{Jobs: 1, Metrics: r.Metrics}
+	return &run.Runner{Jobs: 1, Metrics: r.Metrics,
+		Context: r.Context, Checkpoints: r.Checkpoints}
 }
 
 // RunSweep measures one benchmark across the page axis.

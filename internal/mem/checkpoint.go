@@ -1,0 +1,38 @@
+package mem
+
+// Checkpoint is a deep copy of the store's contents: every allocated frame
+// is cloned, so the checkpoint is immune to later writes on either side.
+// The frame cache and move buffer are pure lookup/scratch structures with
+// no observable state and are not captured.
+type Checkpoint struct {
+	frames  map[uint64][]byte
+	touched uint64
+}
+
+// Bytes reports the checkpoint's host-memory footprint, for cache
+// accounting.
+func (c Checkpoint) Bytes() uint64 { return uint64(len(c.frames)) * frameBytes }
+
+// Checkpoint captures the store contents.
+func (s *Store) Checkpoint() Checkpoint {
+	c := Checkpoint{
+		frames:  make(map[uint64][]byte, len(s.frames)),
+		touched: s.touched,
+	}
+	for idx, f := range s.frames {
+		c.frames[idx] = append([]byte(nil), f...)
+	}
+	return c
+}
+
+// Restore overwrites the store's contents with a checkpoint, cloning each
+// frame so the checkpoint stays reusable. The frame cache is cleared: its
+// entries alias the store's previous frames.
+func (s *Store) Restore(c Checkpoint) {
+	s.frames = make(map[uint64][]byte, len(c.frames))
+	for idx, f := range c.frames {
+		s.frames[idx] = append([]byte(nil), f...)
+	}
+	s.touched = c.touched
+	s.fcache = [frameCacheSlots]frameCacheEntry{}
+}

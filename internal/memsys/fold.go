@@ -50,11 +50,28 @@ import (
 // iteration's base address. Count == 1 models a single (possibly
 // multi-line) access like a block copy; Count > 1 models a typed slice
 // access and is charged exactly like AccessElems.
+//
+// Stride, when nonzero, overrides the stream's stride for this entry:
+// iteration i accesses base + i·Stride + Off instead of base + i·stride +
+// Off, so one stream can carry loops whose operands advance at different
+// rates (a byte-wide sequence read against halfword-wide table rows).
+// Heterogeneous-stride streams never fold — the uniform tag-shift model
+// needs one per-iteration delta — but they still run through the
+// guaranteed-hit line-run batcher.
 type StreamAcc struct {
-	Off   int64
-	Size  uint64
-	Count uint64
-	Kind  AccessKind
+	Off    int64
+	Size   uint64
+	Count  uint64
+	Kind   AccessKind
+	Stride int64
+}
+
+// stride returns the entry's effective stride given the stream's stride.
+func (a *StreamAcc) stride(stream int64) int64 {
+	if a.Stride != 0 {
+		return a.Stride
+	}
+	return stream
 }
 
 // FoldStats counts the folding layer's decisions. Diagnostic only: the
@@ -63,11 +80,12 @@ type StreamAcc struct {
 // exclude — a folding run must count differently from a scalar one here
 // while every simulated observable stays identical.
 type FoldStats struct {
-	Streams       uint64 // StreamRun invocations
+	Streams       uint64 // StreamRun + NestedStreamRun invocations
+	NestedStreams uint64 // NestedStreamRun invocations (two-level patterns)
 	Folded        uint64 // invocations that fast-forwarded at least one period
 	FoldedPeriods uint64
-	FoldedIters   uint64 // iterations skipped by folding
-	ScalarIters   uint64 // iterations simulated scalar (incl. warm-up and tails)
+	FoldedIters   uint64 // innermost iterations skipped by folding
+	ScalarIters   uint64 // innermost iterations simulated scalar (incl. tails)
 
 	// Fallback classification: one increment per StreamRun invocation that
 	// could not fold, by the first disqualifier hit.
@@ -87,9 +105,14 @@ const (
 	// verified after this many scalar periods, the stream runs scalar.
 	foldMaxWarmup = 12
 	// foldMaxBackDepth bounds how many periods back a pattern's open-row
-	// reuse may reach; deeper reuse (only possible when distinct stream
-	// regions are separated by an exact multiple of the period delta)
-	// falls back to scalar.
+	// reuse may be verified against recorded history. Deeper reuse (only
+	// possible when distinct stream regions are separated by an exact
+	// multiple of the period delta) would need more warm-up periods than
+	// foldMaxWarmup allows, so it is instead guarded analytically: the
+	// delta is a multiple of the subarray size, so every translated access
+	// keeps its within-subarray offset, and the open row a folded period
+	// leaves for a later one is a per-pattern constant (see classify and
+	// foldGuardDRAM).
 	foldMaxBackDepth = 3
 	// foldMaxBackWork caps the subarray back-reference scan.
 	foldMaxBackWork = 1 << 16
@@ -103,12 +126,19 @@ type dramAcc struct {
 
 // foldFirst is the first recorded DRAM access to one subarray within a
 // period. fresh marks subarrays no other period ever touches, whose
-// pre-stream state must be guarded per folded period.
+// pre-stream state must be guarded per folded period. depth > 0 marks a
+// back-reference too deep to verify against recorded history
+// (depth > foldMaxBackDepth): folded period m reads state left by period
+// m-depth, so for m <= depth the pre-fold state is guarded like fresh,
+// and for m > depth the source is itself a folded period whose left-open
+// row is the m-invariant steadyHit outcome.
 type foldFirst struct {
-	sub   int64
-	row   int64
-	hit   bool
-	fresh bool
+	sub       int64
+	row       int64
+	hit       bool
+	fresh     bool
+	depth     int64
+	steadyHit bool
 }
 
 // foldBoundary is the observable-counter checkpoint taken at each period
@@ -268,18 +298,22 @@ const streamBatchMax = 8
 func (h *Hierarchy) streamScalarBatched(base uint64, stride int64, from, to uint64, accs []StreamAcc) (sim.Duration, bool) {
 	l1 := h.L1D
 	line := l1.LineBytes()
-	mag := uint64(stride)
-	if stride < 0 {
-		mag = uint64(-stride)
-	}
-	if mag == 0 || mag >= line || len(accs) == 0 || len(accs) > streamBatchMax {
+	if len(accs) == 0 || len(accs) > streamBatchMax {
 		return 0, false
 	}
-	var width, cnt [streamBatchMax]uint64
-	var wr [streamBatchMax]bool
-	var perRound uint64
+	var width, cnt, mags, strd [streamBatchMax]uint64
+	var wr, neg [streamBatchMax]bool
 	for j := range accs {
 		a := &accs[j]
+		s := a.stride(stride)
+		mag := uint64(s)
+		if s < 0 {
+			mag = uint64(-s)
+			neg[j] = true
+		}
+		if mag == 0 || mag >= line {
+			return 0, false
+		}
 		if (a.Kind != Read && a.Kind != Write) || a.Size == 0 || a.Size > line || a.Count > line {
 			return 0, false
 		}
@@ -290,7 +324,8 @@ func (h *Hierarchy) streamScalarBatched(base uint64, stride int64, from, to uint
 		width[j] = w
 		cnt[j] = max(a.Count, 1)
 		wr[j] = a.Kind == Write
-		perRound += cnt[j]
+		mags[j] = mag
+		strd[j] = uint64(s)
 	}
 	hitCost := h.cfg.L1HitTime
 	assoc := h.cfg.L1D.Assoc
@@ -298,24 +333,23 @@ func (h *Hierarchy) streamScalarBatched(base uint64, stride int64, from, to uint
 	var addrs [streamBatchMax]uint64
 	var total sim.Duration
 	for i := from; i < to; {
-		a0 := base + uint64(stride)*i
 		// Window length: iterations after i for which no access leaves the
 		// line it currently occupies, bounded by the nearest line boundary
-		// in the stride's direction; zero if any footprint straddles a
-		// boundary right now or two accesses share a set but not a line.
+		// in each entry's stride direction; zero if any footprint straddles
+		// a boundary right now or two accesses share a set but not a line.
 		k := to - i - 1
 		for j := range accs {
-			aj := a0 + uint64(accs[j].Off)
+			aj := base + strd[j]*i + uint64(accs[j].Off)
 			off := aj & (line - 1)
 			if off+width[j] > line {
 				k = 0
 				break
 			}
 			var kj uint64
-			if stride > 0 {
-				kj = (line - off - width[j]) / mag
+			if neg[j] {
+				kj = off / mags[j]
 			} else {
-				kj = off / mag
+				kj = (line - off - width[j]) / mags[j]
 			}
 			k = min(k, kj)
 			addrs[j] = aj
@@ -366,10 +400,9 @@ func (h *Hierarchy) streamScalarBatched(base uint64, stride int64, from, to uint
 // streamIter simulates one iteration.
 func (h *Hierarchy) streamIter(base uint64, stride int64, i uint64, accs []StreamAcc) sim.Duration {
 	var t sim.Duration
-	a0 := base + uint64(stride)*i
 	for k := range accs {
 		a := &accs[k]
-		addr := a0 + uint64(a.Off)
+		addr := base + uint64(a.stride(stride))*i + uint64(a.Off)
 		if a.Count > 1 {
 			t += h.AccessElems(addr, a.Size, a.Count, a.Kind)
 		} else {
@@ -388,7 +421,13 @@ func (h *Hierarchy) foldEligible(stride int64, accs []StreamAcc) bool {
 		return false
 	}
 	for i := range accs {
-		if a := &accs[i]; (a.Kind != Read && a.Kind != Write) || a.Size == 0 {
+		a := &accs[i]
+		if (a.Kind != Read && a.Kind != Write) || a.Size == 0 {
+			return false
+		}
+		// A per-entry stride override breaks the single per-iteration
+		// address delta the uniform tag-shift fold is built on.
+		if a.Stride != 0 && a.Stride != stride {
 			return false
 		}
 	}
@@ -436,6 +475,13 @@ func foldNoWrap(base uint64, stride int64, n uint64, accs []StreamAcc) bool {
 		extLo = min(extLo, a.Off)
 		extHi = max(extHi, a.Off+int64(a.Size*max(a.Count, 1)))
 	}
+	return spanNoWrap(base, stride, n, extLo, extHi)
+}
+
+// spanNoWrap applies the wrap rules to a walk of n iterations whose
+// per-iteration footprint spans [extLo, extHi) relative to the iteration
+// base.
+func spanNoWrap(base uint64, stride int64, n uint64, extLo, extHi int64) bool {
 	if extLo < -(1<<40) || extHi > 1<<40 {
 		return false
 	}
@@ -530,26 +576,46 @@ func (h *Hierarchy) foldSnapshot(fs *foldScratch) {
 	h.L2.SnapshotInto(&fs.snaps[fs.cur].l2)
 }
 
-// streamFold is the warm-up / verify / fast-forward pipeline.
+// streamFold is the warm-up / verify / fast-forward pipeline for a flat
+// stream: the generic fold core drives streamIter, and whatever it leaves
+// unsimulated runs on the batched scalar path.
 func (h *Hierarchy) streamFold(base uint64, stride int64, n uint64, accs []StreamAcc, P uint64, delta int64) sim.Duration {
 	fs := h.foldScratch()
 	fs.reset()
 	h.foldMarkTouched(fs, base, stride, P, accs)
+	total, iter := h.runFold(fs, n, P, delta, 1, func(i uint64) sim.Duration {
+		return h.streamIter(base, stride, i, accs)
+	})
+	h.Folds.ScalarIters += n - iter
+	total += h.streamScalar(base, stride, iter, n, accs)
+	return total
+}
+
+// runFold is the generic warm-up / verify / fast-forward core, shared by
+// flat and nested streams. It simulates whole periods of P iterations
+// through iter until periodicity verifies at a boundary, fast-forwards as
+// many whole periods as the DRAM fresh-subarray guard allows, and returns
+// the accumulated latency plus the first iteration index left unsimulated
+// (the caller runs the remainder its own way). itersPer weights the
+// FoldedIters diagnostic: how many innermost iterations one call to iter
+// stands for (1 for a flat stream). Touched-set bitmaps must be marked and
+// fs reset before the call.
+func (h *Hierarchy) runFold(fs *foldScratch, n, P uint64, delta int64, itersPer uint64, iter func(i uint64) sim.Duration) (sim.Duration, uint64) {
 	tag1 := delta / int64(h.L1D.SetSpan())
 	tag2 := delta / int64(h.L2.SetSpan())
 
 	h.DRAM.OnAccess = fs.hook
 	var total sim.Duration
-	var iter uint64
+	var it uint64
 	fs.pushBoundary(h.foldBoundaryNow(total))
 	h.foldSnapshot(fs)
 	verified := false
 	for periods := 0; ; periods++ {
-		if periods >= foldMaxWarmup || fs.bail || n-iter < 2*P {
+		if periods >= foldMaxWarmup || fs.bail || n-it < 2*P {
 			break
 		}
-		for end := iter + P; iter < end; iter++ {
-			total += h.streamIter(base, stride, iter, accs)
+		for end := it + P; it < end; it++ {
+			total += iter(it)
 		}
 		fs.periodStart = append(fs.periodStart, len(fs.recs))
 		fs.pushBoundary(h.foldBoundaryNow(total))
@@ -562,24 +628,22 @@ func (h *Hierarchy) streamFold(base uint64, stride int64, n uint64, accs []Strea
 	h.DRAM.OnAccess = nil
 
 	if verified {
-		M := (n - iter) / P
+		M := (n - it) / P
 		M = h.foldGuardDRAM(fs, delta, M)
 		if M > 0 {
 			h.foldApply(fs, delta, tag1, tag2, M)
 			total += fs.bounds[2].delta(fs.bounds[1]).lat * sim.Duration(M)
-			iter += M * P
+			it += M * P
 			h.Folds.Folded++
 			h.Folds.FoldedPeriods += M
-			h.Folds.FoldedIters += M * P
+			h.Folds.FoldedIters += M * P * itersPer
 		} else {
 			h.Folds.FallbackGuard++
 		}
 	} else {
 		h.Folds.FallbackUnverified++
 	}
-	h.Folds.ScalarIters += n - iter
-	total += h.streamScalar(base, stride, iter, n, accs)
-	return total
+	return total, it
 }
 
 // foldVerify checks every periodicity condition at the latest boundary.
@@ -687,8 +751,22 @@ func (fs *foldScratch) classify(d *dram.Device, last []dramAcc, delta int64) boo
 		case depth == 0:
 			f.fresh = true
 		case depth > foldMaxBackDepth:
-			fs.bail = true
-			return false
+			// Too deep to verify against recorded history — the source
+			// period predates any affordable warm-up. Resolve it
+			// analytically instead: the source leaves open the row of its
+			// last access to the referenced subarray, and because delta is
+			// a multiple of the subarray size, that row's within-subarray
+			// index is the same in every period.
+			f.depth = int64(depth)
+			src, ok := fs.lastIn(d, f.sub+int64(depth)*dsub)
+			if !ok {
+				// The footprint match came from fs.subs, whose members all
+				// have a lastPerSub entry; missing means inconsistent
+				// bookkeeping, so refuse to fold.
+				fs.bail = true
+				return false
+			}
+			f.steadyHit = d.Row(src) == f.row
 		case depth > fs.kmax:
 			fs.kmax = depth
 		}
@@ -696,8 +774,23 @@ func (fs *foldScratch) classify(d *dram.Device, last []dramAcc, delta int64) boo
 	return true
 }
 
-// foldGuardDRAM caps the fold at the first period where a fresh subarray's
-// pre-stream open row would change the recorded first-touch outcome.
+// lastIn returns the recorded last-access address in subarray sub.
+func (fs *foldScratch) lastIn(d *dram.Device, sub int64) (uint64, bool) {
+	for _, a := range fs.lastPerSub {
+		if int64(d.Subarray(a)) == sub {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+// foldGuardDRAM caps the fold at the first period where a subarray's
+// first-touch outcome would deviate from the recorded one: a fresh
+// subarray's pre-stream open row must reproduce it for every folded
+// period, a deep back-reference's pre-fold state must reproduce it while
+// the source period predates the fold (m <= depth), and once the source
+// is itself a folded period (m > depth) the analytic steady outcome must
+// match.
 func (h *Hierarchy) foldGuardDRAM(fs *foldScratch, delta int64, M uint64) uint64 {
 	if h.DRAM.Config().AccessTime == 0 || len(fs.firsts) == 0 {
 		return M
@@ -706,12 +799,16 @@ func (h *Hierarchy) foldGuardDRAM(fs *foldScratch, delta int64, M uint64) uint64
 	for m := uint64(1); m <= M; m++ {
 		for i := range fs.firsts {
 			f := &fs.firsts[i]
-			if !f.fresh {
-				continue
-			}
-			pre := h.DRAM.OpenRow(uint64(f.sub + int64(m)*dsub))
-			if (pre == f.row) != f.hit {
-				return m - 1
+			switch {
+			case f.fresh || f.depth > 0 && int64(m) <= f.depth:
+				pre := h.DRAM.OpenRow(uint64(f.sub + int64(m)*dsub))
+				if (pre == f.row) != f.hit {
+					return m - 1
+				}
+			case f.depth > 0:
+				if f.steadyHit != f.hit {
+					return m - 1
+				}
 			}
 		}
 	}
@@ -741,5 +838,213 @@ func (h *Hierarchy) foldApply(fs *foldScratch, delta int64, tag1, tag2 int64, M 
 			}
 		}
 		h.DRAM.SetLast(fs.recs[len(fs.recs)-1].addr + uint64(delta)*M)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Nested streams: two-level fixed-stride patterns.
+
+// NestedStreamRun simulates a two-level loop nest of outerN macro-
+// iterations. Macro-iteration i, based at base + i·outerStride, first runs
+// innerN iterations of the inner pattern — entry k of accs at
+// base + i·outerStride + j·innerStride + Off for inner index j, with
+// per-entry Stride overrides honored — and then performs every entry of
+// tail once at base + i·outerStride + Off. It is exactly equivalent — in
+// returned latency, statistics, histograms, and final state — to the loop
+// that issues each macro-iteration's inner stream scalar followed by its
+// tail accesses, but the periodicity detector operates at macro-iteration
+// granularity: the inner stream is treated as the body of one outer
+// iteration, and once consecutive outer periods verify as exact
+// delta-translations (same conditions as StreamRun, with the outer period
+// delta), whole outer periods — inner iterations, tails and all —
+// fast-forward in closed form.
+//
+// This is the shape of row sweeps whose inner trip count is far below the
+// inner fold period (a stride-2 filter row is thousands of iterations
+// against a 32 Ki-iteration period) but whose rows repeat under a uniform
+// row-pitch translation: flat folding can never engage, outer folding can.
+// Inner iterations always run through the guaranteed-hit batcher, never
+// through a nested fold — the fold scratch state and DRAM recording hook
+// are single-level.
+//
+// Patterns with a stationary per-macro-iteration region (an operand re-read
+// every row at a fixed address) fail outer verification — the stationary
+// lines cannot participate in the uniform tag shift — and fall back to the
+// per-macro-iteration batched path, still byte-identical to scalar.
+func (h *Hierarchy) NestedStreamRun(base uint64, outerStride int64, outerN uint64,
+	innerStride int64, innerN uint64, accs, tail []StreamAcc) sim.Duration {
+	h.Folds.Streams++
+	h.Folds.NestedStreams++
+	if len(accs) == 0 {
+		innerN = 0
+	}
+	if outerN == 0 || (innerN == 0 && len(tail) == 0) {
+		return 0
+	}
+	iter := func(i uint64) sim.Duration {
+		b := base + uint64(outerStride)*i
+		var t sim.Duration
+		if innerN > 0 {
+			t = h.streamScalar(b, innerStride, 0, innerN, accs)
+		}
+		for k := range tail {
+			a := &tail[k]
+			addr := b + uint64(a.Off)
+			if a.Count > 1 {
+				t += h.AccessElems(addr, a.Size, a.Count, a.Kind)
+			} else {
+				t += h.AccessRange(addr, a.Size, a.Kind)
+			}
+		}
+		return t
+	}
+	scalarRest := func(from uint64) sim.Duration {
+		var t sim.Duration
+		for i := from; i < outerN; i++ {
+			t += iter(i)
+		}
+		return t
+	}
+	// FoldedIters/ScalarIters count innermost work: inner iterations when
+	// the nest has an inner pattern, macro-iterations otherwise.
+	w := innerN
+	if w == 0 {
+		w = 1
+	}
+	if !h.foldEligibleNested(outerStride, accs, tail) {
+		h.Folds.FallbackIneligible++
+		h.Folds.ScalarIters += outerN * w
+		return scalarRest(0)
+	}
+	P, delta, ok := h.foldPeriod(outerStride)
+	switch {
+	case !ok:
+		h.Folds.FallbackIneligible++
+	case outerN/P < foldMinPeriods:
+		h.Folds.FallbackShort++
+	case !h.nestedNoWrap(base, outerStride, outerN, innerStride, innerN, accs, tail):
+		h.Folds.FallbackWrap++
+	default:
+		fs := h.foldScratch()
+		fs.reset()
+		h.foldMarkTouchedNested(fs, base, outerStride, P, innerStride, innerN, accs, tail)
+		total, it := h.runFold(fs, outerN, P, delta, w, iter)
+		h.Folds.ScalarIters += (outerN - it) * w
+		return total + scalarRest(it)
+	}
+	h.Folds.ScalarIters += outerN * w
+	return scalarRest(0)
+}
+
+// foldEligibleNested applies the up-front disqualifiers at the outer level.
+// Per-entry inner stride overrides are legal here: whatever rate an entry
+// advances at inside a macro-iteration, its addresses still translate
+// uniformly by outerStride from one macro-iteration to the next, which is
+// all the outer fold needs.
+func (h *Hierarchy) foldEligibleNested(outerStride int64, accs, tail []StreamAcc) bool {
+	if h.Reference || h.tracer != nil || outerStride == 0 {
+		return false
+	}
+	if !h.L1D.SetsPow2() || !h.L2.SetsPow2() {
+		return false
+	}
+	for _, s := range [2][]StreamAcc{accs, tail} {
+		for i := range s {
+			if a := &s[i]; (a.Kind != Read && a.Kind != Write) || a.Size == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// nestedNoWrap bounds one macro-iteration's full footprint — every inner
+// entry's sweep plus the tail — and applies the flat stream's wrap rules to
+// the outer walk.
+func (h *Hierarchy) nestedNoWrap(base uint64, outerStride int64, outerN uint64,
+	innerStride int64, innerN uint64, accs, tail []StreamAcc) bool {
+	var extLo, extHi int64
+	for i := range accs {
+		a := &accs[i]
+		if a.Size > 1<<32 || a.Count > 1<<32 || innerN > 1<<32 {
+			return false
+		}
+		s := a.stride(innerStride)
+		mag := uint64(s)
+		if s < 0 {
+			mag = uint64(-s)
+		}
+		hi, sweep := bits.Mul64(mag, innerN-1)
+		if hi != 0 || sweep > 1<<40 {
+			return false
+		}
+		lo, hiOff := a.Off, a.Off+int64(a.Size*max(a.Count, 1))
+		if s < 0 {
+			lo -= int64(sweep)
+		} else {
+			hiOff += int64(sweep)
+		}
+		extLo = min(extLo, lo)
+		extHi = max(extHi, hiOff)
+	}
+	for i := range tail {
+		a := &tail[i]
+		if a.Size > 1<<32 || a.Count > 1<<32 {
+			return false
+		}
+		extLo = min(extLo, a.Off)
+		extHi = max(extHi, a.Off+int64(a.Size*max(a.Count, 1)))
+	}
+	return spanNoWrap(base, outerStride, outerN, extLo, extHi)
+}
+
+// foldMarkTouchedNested marks the per-cache touched-set bitmaps for one
+// outer period of the nest. Each inner entry's sweep is marked as a
+// contiguous line range — exact for dense sweeps (|stride| no larger than
+// the footprint width, the shapes applications issue), a safe
+// over-approximation when the sweep has gaps: over-marking can only make
+// verification stricter, never unsound.
+func (h *Hierarchy) foldMarkTouchedNested(fs *foldScratch, base uint64, outerStride int64, P uint64,
+	innerStride int64, innerN uint64, accs, tail []StreamAcc) {
+	fs.touched1 = resetBitmap(fs.touched1, h.L1D.NumSets())
+	fs.touched2 = resetBitmap(fs.touched2, h.L2.NumSets())
+	for i := uint64(0); i < P; i++ {
+		b := base + uint64(outerStride)*i
+		for k := range accs {
+			a := &accs[k]
+			size := a.Size * max(a.Count, 1)
+			start := b + uint64(a.Off)
+			if innerN > 0 {
+				s := a.stride(innerStride)
+				sweep := uint64(s) * (innerN - 1)
+				if s < 0 {
+					sweep = uint64(-s) * (innerN - 1)
+					start -= sweep
+				}
+				size += sweep
+			}
+			h.markTouchedRange(fs, start, size)
+		}
+		for k := range tail {
+			a := &tail[k]
+			h.markTouchedRange(fs, b+uint64(a.Off), a.Size*max(a.Count, 1))
+		}
+	}
+}
+
+// markTouchedRange marks every set either cache maps any line of
+// [start, start+size) to.
+func (h *Hierarchy) markTouchedRange(fs *foldScratch, start, size uint64) {
+	if size == 0 {
+		return
+	}
+	line1, line2 := h.L1D.LineBytes(), h.L2.LineBytes()
+	for x := start &^ (line1 - 1); x <= (start+size-1)&^(line1-1); x += line1 {
+		s := h.L1D.SetIndex(x)
+		fs.touched1[s>>6] |= 1 << (s & 63)
+	}
+	for x := start &^ (line2 - 1); x <= (start+size-1)&^(line2-1); x += line2 {
+		s2 := h.L2.SetIndex(x)
+		fs.touched2[s2>>6] |= 1 << (s2 & 63)
 	}
 }

@@ -166,6 +166,7 @@ func (h *Hierarchy) Observe(r *obs.Registry, prefix string) {
 	// while -json snapshots and /metrics expose them.
 	d := prefix + "." + obs.DiagPrefix
 	r.Counter(d+"fold_streams", func() uint64 { return h.Folds.Streams })
+	r.Counter(d+"fold_nested_streams", func() uint64 { return h.Folds.NestedStreams })
 	r.Counter(d+"fold_engaged", func() uint64 { return h.Folds.Folded })
 	r.Counter(d+"fold_folded_periods", func() uint64 { return h.Folds.FoldedPeriods })
 	r.Counter(d+"fold_folded_iters", func() uint64 { return h.Folds.FoldedIters })

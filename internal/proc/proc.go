@@ -87,6 +87,16 @@ type CPU struct {
 	// come out identical either way; the equivalence tests flip this.
 	ForceScalar bool
 
+	// Interrupt, when set, is polled periodically from the access paths (and
+	// once per Stream call). A non-nil return unwinds the simulated program
+	// with a CancelPanic carrying that error; run.Map translates it back
+	// into a clean error. The hook makes an in-flight simulation point
+	// cancelable mid-run — without it, only point boundaries observe
+	// cancellation. It must stay nil when cancellation is not in play so the
+	// hot path pays a single predictable branch.
+	Interrupt func() error
+	intrOps   uint64
+
 	// tracer is the tracing hook, nil when tracing is off; every use is
 	// behind a nil check so the untraced hot path pays one branch at most.
 	// Consecutive compute work (including the L1-hit share of accesses) is
@@ -189,9 +199,27 @@ func (c *CPU) ComputeFP(n uint64) {
 	c.Stats.FPOps += n
 }
 
+// interruptMask paces the cancellation poll: one hook call per ~64K scalar
+// accesses, cheap enough to disappear into the access cost yet fine-grained
+// enough that a canceled point unwinds within a sliver of its runtime.
+const interruptMask = 1<<16 - 1
+
+// pollInterrupt runs the cancellation hook on its pacing schedule.
+func (c *CPU) pollInterrupt() {
+	if c.Interrupt == nil {
+		return
+	}
+	if c.intrOps++; c.intrOps&interruptMask == 0 {
+		if err := c.Interrupt(); err != nil {
+			panic(CancelPanic{Err: err})
+		}
+	}
+}
+
 // access charges a data access, splitting hit time into compute and the
 // remainder into memory stall.
 func (c *CPU) access(addr, size uint64, kind memsys.AccessKind) {
+	c.pollInterrupt()
 	if c.tracer != nil {
 		c.markCompute(c.now)
 	}
@@ -228,6 +256,7 @@ func (c *CPU) bulkAccess(addr, elemBytes, n uint64, kind memsys.AccessKind) {
 	if n == 0 {
 		return
 	}
+	c.pollInterrupt()
 	if c.tracer != nil {
 		c.markCompute(c.now)
 	}
@@ -440,6 +469,14 @@ func (c *CPU) Stream(base uint64, stride int64, n uint64, accs []memsys.StreamAc
 	if n == 0 {
 		return
 	}
+	// One forced poll per stream call: a single Stream can stand in for an
+	// arbitrarily long loop, so the paced per-access poll never fires inside
+	// its fast path.
+	if c.Interrupt != nil {
+		if err := c.Interrupt(); err != nil {
+			panic(CancelPanic{Err: err})
+		}
+	}
 	fast := !c.ForceScalar && c.tracer == nil
 	for k := range accs {
 		if accs[k].Kind != memsys.Read && accs[k].Kind != memsys.Write {
@@ -450,10 +487,9 @@ func (c *CPU) Stream(base uint64, stride int64, n uint64, accs []memsys.StreamAc
 	}
 	if !fast {
 		for i := uint64(0); i < n; i++ {
-			a0 := base + uint64(stride)*i
 			for k := range accs {
 				a := &accs[k]
-				addr := a0 + uint64(a.Off)
+				addr := streamAddr(base, stride, i, a)
 				if a.Count > 1 {
 					c.bulkAccess(addr, a.Size, a.Count, a.Kind)
 				} else {
@@ -497,6 +533,113 @@ func (c *CPU) Stream(base uint64, stride int64, n uint64, accs []memsys.StreamAc
 func (c *CPU) StrideStream(base, elemBytes uint64, stride int64, n uint64, kind memsys.AccessKind, computePerIter uint64) {
 	accs := [1]memsys.StreamAcc{{Size: elemBytes, Count: 1, Kind: kind}}
 	c.Stream(base, stride, n, accs[:], computePerIter)
+}
+
+// streamAddr resolves one stream entry's address for iteration i, honoring
+// its per-entry stride override.
+func streamAddr(base uint64, stride int64, i uint64, a *memsys.StreamAcc) uint64 {
+	s := stride
+	if a.Stride != 0 {
+		s = a.Stride
+	}
+	return base + uint64(s)*i + uint64(a.Off)
+}
+
+// NestedStream charges a two-level loop nest through the hierarchy's
+// nested stream layer: outerN macro-iterations, each running innerN inner
+// iterations of accs (at base + i·outerStride + j·innerStride + Off, with
+// per-entry Stride overrides) plus innerCpi instructions, then every entry
+// of tail once (at base + i·outerStride + Off) plus tailCpi instructions.
+// The ledger comes out exactly as the equivalent two-level scalar loop's
+// would — every bucket is a sum, and sums are order-independent — so outer
+// folding changes wall-clock only, never a measurement. With ForceScalar or
+// tracing on, the scalar nest itself runs. Like Stream, NestedStream moves
+// no data: callers mirror values host-side.
+func (c *CPU) NestedStream(base uint64, outerStride int64, outerN uint64,
+	innerStride int64, innerN uint64, accs []memsys.StreamAcc, innerCpi uint64,
+	tail []memsys.StreamAcc, tailCpi uint64) {
+	if outerN == 0 {
+		return
+	}
+	// One forced poll per nest, mirroring Stream: the whole nest can stand
+	// in for a very long loop the paced per-access poll never sees.
+	if c.Interrupt != nil {
+		if err := c.Interrupt(); err != nil {
+			panic(CancelPanic{Err: err})
+		}
+	}
+	fast := !c.ForceScalar && c.tracer == nil
+	for _, s := range [2][]memsys.StreamAcc{accs, tail} {
+		for k := range s {
+			if s[k].Kind != memsys.Read && s[k].Kind != memsys.Write {
+				// The bulk ledger split assumes cached accesses only.
+				fast = false
+			}
+		}
+	}
+	if !fast {
+		for i := uint64(0); i < outerN; i++ {
+			b := base + uint64(outerStride)*i
+			for j := uint64(0); j < innerN; j++ {
+				for k := range accs {
+					a := &accs[k]
+					addr := streamAddr(b, innerStride, j, a)
+					if a.Count > 1 {
+						c.bulkAccess(addr, a.Size, a.Count, a.Kind)
+					} else {
+						c.access(addr, a.Size, a.Kind)
+					}
+				}
+				if innerCpi > 0 {
+					c.Compute(innerCpi)
+				}
+			}
+			for k := range tail {
+				a := &tail[k]
+				addr := b + uint64(a.Off)
+				if a.Count > 1 {
+					c.bulkAccess(addr, a.Size, a.Count, a.Kind)
+				} else {
+					c.access(addr, a.Size, a.Kind)
+				}
+			}
+			if tailCpi > 0 {
+				c.Compute(tailCpi)
+			}
+		}
+		return
+	}
+	t := c.hier.NestedStreamRun(base, outerStride, outerN, innerStride, innerN, accs, tail)
+	var perInner, innerLoads, perTail, tailLoads uint64
+	for k := range accs {
+		cnt := max(accs[k].Count, 1)
+		perInner += cnt
+		if accs[k].Kind == memsys.Read {
+			innerLoads += cnt
+		}
+	}
+	for k := range tail {
+		cnt := max(tail[k].Count, 1)
+		perTail += cnt
+		if tail[k].Kind == memsys.Read {
+			tailLoads += cnt
+		}
+	}
+	total := outerN * (innerN*perInner + perTail)
+	loads := outerN * (innerN*innerLoads + tailLoads)
+	hitTotal := sim.Duration(total) * c.hier.L1HitTime()
+	if t < hitTotal {
+		hitTotal = t // cannot happen for cached accesses; defensive
+	}
+	c.now += t
+	c.Stats.ComputeTime += hitTotal
+	c.Stats.MemStallTime += t - hitTotal
+	c.Stats.Instructions += total
+	c.Stats.Loads += loads
+	c.Stats.Stores += total - loads
+	if cpi := innerN*innerCpi + tailCpi; cpi > 0 {
+		c.Compute(outerN * cpi)
+	}
 }
 
 // TouchLoad charges the timing of a size-byte load whose value the caller

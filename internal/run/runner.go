@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"activepages/internal/obs"
+	"activepages/internal/proc"
 )
 
 // Runner executes independent simulation points. The zero value and a nil
@@ -19,11 +20,15 @@ type Runner struct {
 	// Metrics, when set, accumulates the merged metrics snapshot of every
 	// observed run.
 	Metrics *Collector
-	// Context, when set, cancels a sweep between points: Map checks it
-	// before dispatching each index, so an abandoned run stops at
-	// experiment-point granularity instead of simulating to completion.
-	// An individual simulation point is still uninterruptible.
+	// Context, when set, cancels a sweep: Map checks it before dispatching
+	// each index, and the simulation layer polls it from inside a running
+	// point (via InterruptHook wired into proc.CPU.Interrupt), so an
+	// abandoned run unwinds mid-point instead of simulating to completion.
 	Context context.Context
+	// Checkpoints, when set, deduplicates simulation runs across sweep
+	// points that share a canonical configuration (see CheckpointCache).
+	// Nil disables checkpoint/branch: every point simulates from cold.
+	Checkpoints *CheckpointCache
 }
 
 // Serial returns a single-worker runner.
@@ -52,6 +57,24 @@ func (r *Runner) interrupted() error {
 		return nil
 	}
 	return r.Context.Err()
+}
+
+// CheckpointCache returns the runner's checkpoint cache, nil-safe.
+func (r *Runner) CheckpointCache() *CheckpointCache {
+	if r == nil {
+		return nil
+	}
+	return r.Checkpoints
+}
+
+// InterruptHook returns a cancellation poll suitable for
+// proc.CPU.Interrupt, or nil when the runner carries no context — so an
+// uncancelable run's access path stays hook-free.
+func (r *Runner) InterruptHook() func() error {
+	if r == nil || r.Context == nil {
+		return nil
+	}
+	return r.Context.Err
 }
 
 // Collect merges a run's metrics snapshot into the runner's collector, if
@@ -110,6 +133,13 @@ func Map[T any](r *Runner, n int, fn func(i int) (T, error)) ([]T, error) {
 		}
 		defer func() {
 			if v := recover(); v != nil {
+				// A CancelPanic is the processor's cancellation hook
+				// unwinding a point mid-run — a clean cancellation, not a
+				// crash.
+				if cp, ok := v.(proc.CancelPanic); ok {
+					errs[i] = fmt.Errorf("run canceled: %w", cp.Err)
+					return
+				}
 				errs[i] = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
 			}
 		}()

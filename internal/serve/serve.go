@@ -82,6 +82,10 @@ type Server struct {
 	queue chan string
 	agg   *run.Collector
 	live  *obs.Registry
+	// checkpoints is shared by every run the daemon executes: repeated
+	// submissions of the same experiment branch from cached machine state
+	// instead of re-simulating, across requests and workers.
+	checkpoints *run.CheckpointCache
 
 	draining atomic.Bool
 	workers  chan struct{} // closed when the worker pool has drained
@@ -105,14 +109,15 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		log:     cfg.Logger,
-		reg:     newRegistry(),
-		queue:   make(chan string, cfg.QueueDepth),
-		agg:     run.NewCollector(),
-		live:    obs.New(),
-		workers: make(chan struct{}),
-		mux:     http.NewServeMux(),
+		cfg:         cfg,
+		log:         cfg.Logger,
+		reg:         newRegistry(),
+		queue:       make(chan string, cfg.QueueDepth),
+		agg:         run.NewCollector(),
+		live:        obs.New(),
+		checkpoints: run.NewCheckpointCache(0),
+		workers:     make(chan struct{}),
+		mux:         http.NewServeMux(),
 	}
 
 	// Every live-registry registration reads an atomic or takes the
@@ -255,7 +260,8 @@ func (s *Server) execute(id string) {
 	defer cancel()
 	go func() {
 		var buf bytes.Buffer
-		runner := (&run.Runner{Jobs: s.cfg.JobsPerRun, Context: ctx}).WithMetrics()
+		runner := (&run.Runner{Jobs: s.cfg.JobsPerRun, Context: ctx,
+			Checkpoints: s.checkpoints}).WithMetrics()
 		cfg := radram.DefaultConfig().WithPageBytes(experiments.ScaledPageBytes)
 		if req.PageBytes != 0 {
 			cfg = radram.DefaultConfig().WithPageBytes(req.PageBytes)
@@ -292,12 +298,11 @@ func (s *Server) execute(id string) {
 		s.log.Info("run done", "id", id, "elapsed_ms", elapsed.Milliseconds(), "output_bytes", len(res.out))
 	case <-timer.C:
 		// Cancel the abandoned dispatch: the run layer checks the context
-		// between experiment points, so the goroutine unwinds once the
-		// point in flight finishes instead of simulating the whole
-		// experiment to completion. Its result is discarded (done is
-		// buffered, so the send never blocks), and the lingering point —
-		// individual points are uninterruptible — stays visible in
-		// go_goroutines until it drains.
+		// before each experiment point, and the processor model polls it
+		// from inside a running point (proc.CPU.Interrupt), so the
+		// goroutine unwinds promptly — mid-point — instead of simulating
+		// anything to completion. Its result is discarded (done is
+		// buffered, so the send never blocks).
 		cancel()
 		s.runsFailed.Inc()
 		s.finish(id, StateFailed,
