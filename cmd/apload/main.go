@@ -1,7 +1,9 @@
 // Command apload load-tests an apserved daemon: it submits n runs of one
 // experiment across c concurrent clients, polls each to completion, and
 // prints a tail-latency summary of the end-to-end run lifecycle
-// (submit -> done) plus the raw HTTP request latencies.
+// (submit -> done) plus a queue-wait versus execute attribution taken from
+// the daemon's own lifecycle stamps — so saturation (time spent waiting
+// for a worker) is visible separately from simulation cost.
 //
 // Usage:
 //
@@ -32,11 +34,15 @@ func main() {
 	}
 }
 
-// runResult is one submission's end-to-end outcome.
+// runResult is one submission's end-to-end outcome. queueWait and execute
+// come from the daemon's lifecycle stamps (started-submitted and
+// finished-started), attributing where the wall time went server-side.
 type runResult struct {
-	id      string
-	err     error
-	elapsed time.Duration // submit -> observed done
+	id        string
+	err       error
+	elapsed   time.Duration // submit -> observed done (client-observed)
+	queueWait time.Duration // submitted -> worker pickup (daemon stamps)
+	execute   time.Duration // worker pickup -> finished (daemon stamps)
 }
 
 func realMain() error {
@@ -94,34 +100,46 @@ func realMain() error {
 		}
 	}
 
-	wait := func(id string) error {
+	// wait polls the run view until the run reaches a terminal state and
+	// returns the daemon-stamped queue-wait (submitted -> started) and
+	// execute (started -> finished) durations for the latency attribution.
+	wait := func(id string) (queueWait, execute time.Duration, err error) {
 		deadline := time.Now().Add(*timeout)
 		for time.Now().Before(deadline) {
 			resp, err := client.Get(*addr + "/api/v1/runs/" + id)
 			if err != nil {
-				return err
+				return 0, 0, err
 			}
 			data, _ := io.ReadAll(resp.Body)
 			resp.Body.Close()
 			if resp.StatusCode != http.StatusOK {
-				return fmt.Errorf("poll %s: HTTP %d: %s", id, resp.StatusCode, strings.TrimSpace(string(data)))
+				return 0, 0, fmt.Errorf("poll %s: HTTP %d: %s", id, resp.StatusCode, strings.TrimSpace(string(data)))
 			}
 			var run struct {
-				State string `json:"state"`
-				Error string `json:"error"`
+				State     string     `json:"state"`
+				Error     string     `json:"error"`
+				Submitted time.Time  `json:"submitted"`
+				Started   *time.Time `json:"started"`
+				Finished  *time.Time `json:"finished"`
 			}
 			if err := json.Unmarshal(data, &run); err != nil {
-				return fmt.Errorf("poll %s: %w", id, err)
+				return 0, 0, fmt.Errorf("poll %s: %w", id, err)
 			}
 			switch run.State {
 			case "done":
-				return nil
+				if run.Started != nil {
+					queueWait = run.Started.Sub(run.Submitted)
+					if run.Finished != nil {
+						execute = run.Finished.Sub(*run.Started)
+					}
+				}
+				return queueWait, execute, nil
 			case "failed":
-				return fmt.Errorf("run %s failed: %s", id, run.Error)
+				return 0, 0, fmt.Errorf("run %s failed: %s", id, run.Error)
 			}
 			time.Sleep(*poll)
 		}
-		return fmt.Errorf("run %s did not finish within %s", id, *timeout)
+		return 0, 0, fmt.Errorf("run %s did not finish within %s", id, *timeout)
 	}
 
 	label := *experiment
@@ -148,11 +166,13 @@ func realMain() error {
 					return
 				}
 				t0 := time.Now()
+				var qw, ex time.Duration
 				id, err := submit()
 				if err == nil {
-					err = wait(id)
+					qw, ex, err = wait(id)
 				}
-				results[i] = runResult{id: id, err: err, elapsed: time.Since(t0)}
+				results[i] = runResult{id: id, err: err,
+					elapsed: time.Since(t0), queueWait: qw, execute: ex}
 			}
 		}()
 	}
@@ -161,6 +181,9 @@ func realMain() error {
 
 	var failed int
 	latencies := make([]time.Duration, 0, *n)
+	queueWaits := make([]time.Duration, 0, *n)
+	executes := make([]time.Duration, 0, *n)
+	var queueTotal, execTotal time.Duration
 	for _, r := range results {
 		if r.err != nil {
 			failed++
@@ -168,21 +191,40 @@ func realMain() error {
 			continue
 		}
 		latencies = append(latencies, r.elapsed)
+		queueWaits = append(queueWaits, r.queueWait)
+		executes = append(executes, r.execute)
+		queueTotal += r.queueWait
+		execTotal += r.execute
 	}
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	q := func(p float64) time.Duration {
-		if len(latencies) == 0 {
-			return 0
+	quantiles := func(ds []time.Duration) func(float64) time.Duration {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return func(p float64) time.Duration {
+			if len(ds) == 0 {
+				return 0
+			}
+			return ds[int(p*float64(len(ds)-1))]
 		}
-		i := int(p * float64(len(latencies)-1))
-		return latencies[i]
 	}
+	q := quantiles(latencies)
+	qq := quantiles(queueWaits)
+	qe := quantiles(executes)
 	fmt.Printf("apload: %d ok, %d failed in %s (%.1f runs/s)\n",
 		len(latencies), failed, total.Round(time.Millisecond),
 		float64(len(latencies))/total.Seconds())
 	fmt.Printf("apload: submit->done latency p50=%s p90=%s p99=%s max=%s\n",
 		q(0.50).Round(time.Millisecond), q(0.90).Round(time.Millisecond),
 		q(0.99).Round(time.Millisecond), q(1.0).Round(time.Millisecond))
+	fmt.Printf("apload: queue-wait          p50=%s p90=%s p99=%s max=%s\n",
+		qq(0.50).Round(time.Millisecond), qq(0.90).Round(time.Millisecond),
+		qq(0.99).Round(time.Millisecond), qq(1.0).Round(time.Millisecond))
+	fmt.Printf("apload: execute             p50=%s p90=%s p99=%s max=%s\n",
+		qe(0.50).Round(time.Millisecond), qe(0.90).Round(time.Millisecond),
+		qe(0.99).Round(time.Millisecond), qe(1.0).Round(time.Millisecond))
+	if serverTotal := queueTotal + execTotal; serverTotal > 0 {
+		fmt.Printf("apload: server wall split   queue-wait %.1f%%, execute %.1f%%\n",
+			100*float64(queueTotal)/float64(serverTotal),
+			100*float64(execTotal)/float64(serverTotal))
+	}
 	if failed > 0 {
 		return fmt.Errorf("%d/%d runs failed", failed, *n)
 	}

@@ -19,6 +19,16 @@
 //	GET  /api/v1/runs/{id}/output   the run's rendered tables (apbench stdout)
 //	GET  /api/v1/runs/{id}/metrics  the run's metrics snapshot JSON
 //	GET  /api/v1/runs/{id}/report   the run's bottleneck attribution report
+//	GET  /api/v1/runs/{id}/progress live sweep progress, ETA, and event log
+//	GET  /api/v1/runs/{id}/trace    the run's wall-clock lifecycle trace as
+//	                                Chrome trace_event JSON (open in Perfetto);
+//	                                valid mid-run and after completion
+//	GET  /debug/pprof/...           Go profiling endpoints (with -pprof)
+//
+// Completed and failed runs are retained up to -retain entries; beyond the
+// cap the oldest terminal runs lose their artifacts (output, metrics,
+// trace) but keep a lifecycle tombstone, so memory stays bounded under
+// sustained load.
 //
 // Logs are JSON (log/slog) on stderr: one access line per request and one
 // lifecycle line per run transition. SIGINT/SIGTERM shut down gracefully:
@@ -54,6 +64,8 @@ func realMain() error {
 		queue      = flag.Int("queue", 16, "accepted runs that may wait for a worker")
 		runTimeout = flag.Duration("runtimeout", 10*time.Minute, "per-run wall-clock budget")
 		jobs       = flag.Int("jobs", runtime.NumCPU(), "simulation worker-pool width inside each run")
+		retain     = flag.Int("retain", 256, "completed/failed runs kept with artifacts before eviction")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		logLevel   = flag.String("loglevel", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
@@ -66,12 +78,14 @@ func realMain() error {
 	slog.SetDefault(logger)
 
 	s := serve.New(serve.Config{
-		Addr:       *addr,
-		Workers:    *workers,
-		QueueDepth: *queue,
-		RunTimeout: *runTimeout,
-		JobsPerRun: *jobs,
-		Logger:     logger,
+		Addr:        *addr,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		RunTimeout:  *runTimeout,
+		JobsPerRun:  *jobs,
+		RetainRuns:  *retain,
+		EnablePprof: *pprofOn,
+		Logger:      logger,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -10,6 +10,7 @@ package apps
 
 import (
 	"fmt"
+	"time"
 
 	"activepages/internal/core"
 	"activepages/internal/obs"
@@ -237,8 +238,18 @@ func runMachine(r *run.Runner, b Benchmark, pages float64, key string,
 // both (or branches either side from the runner's checkpoint cache), and
 // extracts the paper's metrics. hits reports per machine — conventional
 // then Active-Page — whether the state came from a checkpoint branch.
-func measure(r *run.Runner, b Benchmark, cfg radram.Config, pages float64) (Measurement, *run.Machine, *run.Machine, [2]bool, error) {
-	var hits [2]bool
+// When the runner tracks progress, the completed measurement — including
+// its wall-clock cost and both checkpoint outcomes — is reported through
+// run.Runner.NoteMeasure; the untracked path never reads the wall clock.
+func measure(r *run.Runner, b Benchmark, cfg radram.Config, pages float64) (meas Measurement, conv, rad *run.Machine, hits [2]bool, err error) {
+	if r.ProgressTracker() != nil {
+		start := time.Now()
+		defer func() {
+			r.NoteMeasure(b.Name(), pages, cfg.BackendName(),
+				r.CheckpointCache() != nil, hits[0], hits[1],
+				start, time.Since(start), err)
+		}()
+	}
 	conv, convHit, err := runMachine(r, b, pages,
 		run.ConvCheckpointKey(b.Name(), pages, cfg),
 		func() (*run.Machine, error) { return run.NewConventional(cfg), nil })
@@ -261,7 +272,7 @@ func measure(r *run.Runner, b Benchmark, cfg radram.Config, pages float64) (Meas
 	}
 	hits = [2]bool{convHit, apHit}
 
-	meas := Measurement{
+	meas = Measurement{
 		Benchmark:  b.Name(),
 		Pages:      pages,
 		ConvTime:   conv.Elapsed(),

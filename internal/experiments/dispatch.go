@@ -83,6 +83,7 @@ func Dispatch(out io.Writer, r *run.Runner, experiment string, cfg radram.Config
 	// The backends study is inherently three-way; it ignores the backend
 	// selector.
 	if experiment == "backends" {
+		r.ProgressTracker().SetLabel(experiment)
 		return runBackendsStudy(out, r, cfg, points, opt)
 	}
 	if bk == "all" {
@@ -107,6 +108,12 @@ func Dispatch(out io.Writer, r *run.Runner, experiment string, cfg radram.Config
 		}
 	}
 	cfg = bcfg
+	// Announce the experiment to any attached progress tracker before its
+	// sweeps schedule points (composite recursion re-announces each leaf;
+	// no-op without a tracker, so batch output is untouched).
+	if experiment != "all" {
+		r.ProgressTracker().SetLabel(experiment)
+	}
 	switch experiment {
 	case "table1":
 		Table1(cfg).WriteTo(out)

@@ -128,14 +128,14 @@ func measure(r *run.Runner, b apps.Benchmark, cfg radram.Config, pages float64) 
 }
 
 // serially returns a single-worker runner sharing r's metrics sink,
-// checkpoint cache, and cancellation context, for loops nested inside an
-// already-parallel Map.
+// checkpoint cache, cancellation context, and progress tracker, for loops
+// nested inside an already-parallel Map.
 func serially(r *run.Runner) *run.Runner {
 	if r == nil {
 		return nil
 	}
 	return &run.Runner{Jobs: 1, Metrics: r.Metrics,
-		Context: r.Context, Checkpoints: r.Checkpoints}
+		Context: r.Context, Checkpoints: r.Checkpoints, Progress: r.Progress}
 }
 
 // RunSweep measures one benchmark across the page axis.

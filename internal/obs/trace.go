@@ -198,6 +198,12 @@ func trackName(tid int32) string {
 		return "bus"
 	case TIDDRAM:
 		return "dram"
+	case TIDWallLifecycle:
+		return "lifecycle (wall)"
+	case TIDWallPoints:
+		return "points (wall)"
+	case TIDWallMeasures:
+		return "measures (wall)"
 	}
 	if tid >= TIDPageBase {
 		return "page " + strconv.Itoa(int(tid-TIDPageBase))

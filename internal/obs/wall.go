@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"activepages/internal/sim"
+)
+
+// Wall-clock track identifiers. The simulator's tracks (TIDCPU..TIDPageBase)
+// carry simulated time; these carry wall-clock time measured with time.Now.
+// The two clock domains coexist in one Chrome trace file by convention:
+// wall-clock tracers are separate processes (WallTracer.SetProcess names
+// them with a "(wall)" suffix) and their track names repeat the marker, so
+// a viewer never reads a wall span against the simulated timeline.
+const (
+	// TIDWallLifecycle is a run's lifecycle timeline: queue wait, execute,
+	// artifact write.
+	TIDWallLifecycle int32 = 90
+	// TIDWallPoints is the sweep-point timeline: one span per completed
+	// scheduled point.
+	TIDWallPoints int32 = 91
+	// TIDWallMeasures is the measurement timeline: one span per benchmark
+	// measurement, labeled with its checkpoint outcome.
+	TIDWallMeasures int32 = 92
+)
+
+// WallEvent is one entry of a WallTracer's structured event log: a
+// wall-clock timestamped message with optional string attributes.
+type WallEvent struct {
+	T     time.Time         `json:"t"`
+	Msg   string            `json:"msg"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// DefaultWallEvents bounds a WallTracer's ring and event log: run
+// lifecycles emit a handful of spans per sweep point, so a few thousand
+// entries hold any dispatchable experiment.
+const DefaultWallEvents = 1 << 13
+
+// WallTracer records wall-clock spans and a structured event log for one
+// run's lifecycle, reusing the simulated-time ring buffer and Chrome
+// exporter underneath: wall timestamps are taken relative to an epoch
+// (conventionally the run's submission time) and mapped onto the trace
+// timeline at nanosecond granularity, so WriteChrome output opens in
+// Perfetto exactly like a simulated-time trace.
+//
+// Unlike Tracer — which is single-goroutine by design, because the
+// simulation is — a WallTracer is safe for concurrent use: a worker
+// goroutine emits spans while HTTP handlers export the trace or read the
+// event log mid-run. A nil *WallTracer ignores every call, mirroring the
+// package's nil-safety contract.
+type WallTracer struct {
+	mu    sync.Mutex
+	epoch time.Time
+	tr    *Tracer
+	log   []WallEvent
+	// logStart indexes the oldest retained log entry once the log has
+	// wrapped; the log is a ring just like the span buffer.
+	logStart int
+	logCap   int
+	wrapped  bool
+}
+
+// NewWallTracer returns a tracer whose timeline starts at epoch, retaining
+// at most capacity spans and capacity log entries (values < 1 use
+// DefaultWallEvents).
+func NewWallTracer(epoch time.Time, capacity int) *WallTracer {
+	if capacity < 1 {
+		capacity = DefaultWallEvents
+	}
+	return &WallTracer{epoch: epoch, tr: NewTracer(capacity), logCap: capacity}
+}
+
+// SetProcess labels the tracer's process in multi-process trace files. The
+// name should carry a "(wall)" marker so viewers can tell the clock domain
+// apart from simulated-time processes. A nil tracer ignores it.
+func (w *WallTracer) SetProcess(pid int, name string) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.tr.SetProcess(pid, name)
+}
+
+// ts maps a wall-clock instant onto the trace timeline. Instants before
+// the epoch clamp to zero so a span can never start at a negative time.
+func (w *WallTracer) ts(t time.Time) sim.Time {
+	d := t.Sub(w.epoch)
+	if d < 0 {
+		d = 0
+	}
+	return sim.Time(d.Nanoseconds()) * sim.Nanosecond
+}
+
+// Span records a complete wall-clock span. A nil tracer ignores it.
+func (w *WallTracer) Span(tid int32, cat, name string, start time.Time, d time.Duration) {
+	if w == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.tr.Span(tid, cat, name, w.ts(start), sim.Duration(d.Nanoseconds())*sim.Nanosecond)
+}
+
+// SpanArg is Span with a numeric argument attached.
+func (w *WallTracer) SpanArg(tid int32, cat, name string, start time.Time, d time.Duration, arg int64) {
+	if w == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.tr.SpanArg(tid, cat, name, w.ts(start), sim.Duration(d.Nanoseconds())*sim.Nanosecond, arg)
+}
+
+// Instant records a wall-clock point event. A nil tracer ignores it.
+func (w *WallTracer) Instant(tid int32, cat, name string, at time.Time) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.tr.Instant(tid, cat, name, w.ts(at))
+}
+
+// Log appends one structured entry to the event log, keeping the most
+// recent entries once the log is full. Attrs may be nil. A nil tracer
+// ignores it.
+func (w *WallTracer) Log(at time.Time, msg string, attrs map[string]string) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ev := WallEvent{T: at, Msg: msg, Attrs: attrs}
+	if len(w.log) < w.logCap {
+		w.log = append(w.log, ev)
+		return
+	}
+	w.log[w.logStart] = ev
+	w.logStart = (w.logStart + 1) % w.logCap
+	w.wrapped = true
+}
+
+// Events returns the retained log entries, oldest first. The slice is
+// freshly allocated; a nil tracer yields none.
+func (w *WallTracer) Events() []WallEvent {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]WallEvent, 0, len(w.log))
+	if w.wrapped {
+		out = append(out, w.log[w.logStart:]...)
+		out = append(out, w.log[:w.logStart]...)
+		return out
+	}
+	return append(out, w.log...)
+}
+
+// SpanCount reports how many spans are retained. A nil tracer has none.
+func (w *WallTracer) SpanCount() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.tr.Len()
+}
+
+// WriteChrome renders the retained spans as a Chrome trace_event JSON
+// document, consistent against concurrent emission: the export holds the
+// tracer's lock, so a trace fetched mid-run is a clean prefix of the final
+// one. A nil tracer writes a valid empty document.
+func (w *WallTracer) WriteChrome(out io.Writer) error {
+	if w == nil {
+		return WriteChrome(out)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WriteChrome(out, w.tr)
+}
+
+// Tracer exposes the underlying ring for callers combining a wall-clock
+// tracer with simulated-time tracers in one WriteChrome document. The
+// caller must ensure no concurrent emission while the combined document is
+// written. A nil tracer yields nil.
+func (w *WallTracer) Tracer() *Tracer {
+	if w == nil {
+		return nil
+	}
+	return w.tr
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"activepages/internal/obs"
 	"activepages/internal/proc"
@@ -29,6 +30,12 @@ type Runner struct {
 	// points that share a canonical configuration (see CheckpointCache).
 	// Nil disables checkpoint/branch: every point simulates from cold.
 	Checkpoints *CheckpointCache
+	// Progress, when set, tracks the dispatch live: Map reports scheduled
+	// and completed points with wall-clock timing, and the measurement
+	// layer reports per-benchmark checkpoint outcomes. Nil (the batch-mode
+	// default) disables all tracking — the runner then never reads the
+	// wall clock.
+	Progress *Progress
 }
 
 // Serial returns a single-worker runner.
@@ -125,8 +132,10 @@ func (e *PanicError) Error() string {
 func Map[T any](r *Runner, n int, fn func(i int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	errs := make([]error, n)
+	prog := r.ProgressTracker()
+	prog.expectPoints(n)
 
-	call := func(i int) {
+	exec := func(i int) {
 		if err := r.interrupted(); err != nil {
 			errs[i] = fmt.Errorf("run canceled: %w", err)
 			return
@@ -144,6 +153,16 @@ func Map[T any](r *Runner, n int, fn func(i int) (T, error)) ([]T, error) {
 			}
 		}()
 		results[i], errs[i] = fn(i)
+	}
+	call := exec
+	if prog != nil {
+		// Wrap rather than inline the timing so the untracked path never
+		// touches the wall clock.
+		call = func(i int) {
+			start := time.Now()
+			exec(i)
+			prog.pointDone(start, time.Since(start), errs[i])
+		}
 	}
 
 	if workers := min(r.jobs(), n); workers <= 1 {

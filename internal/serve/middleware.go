@@ -64,6 +64,15 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the wrapped writer when it supports flushing, so
+// handlers streaming live data (progress polls, trace exports) can push
+// bytes through the instrumentation wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // handle registers one route with its instrumentation: a per-route
 // latency histogram (pre-registered here, so the request path never
 // mutates the registry), a request counter, and a structured access log
@@ -105,7 +114,7 @@ func (s *Server) recoverer(next http.Handler) http.Handler {
 				s.log.Error("handler panic",
 					"method", r.Method, "path", r.URL.Path,
 					"panic", v, "stack", string(debug.Stack()))
-				writeError(w, http.StatusInternalServerError, "internal error")
+				s.writeError(w, http.StatusInternalServerError, "internal error")
 			}
 		}()
 		next.ServeHTTP(w, r)

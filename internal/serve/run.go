@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"activepages/internal/obs"
+	"activepages/internal/run"
 )
 
 // State is a run's position in its lifecycle. Runs move strictly forward:
@@ -59,36 +60,82 @@ type Run struct {
 	// ElapsedMS is the wall-clock execution time in milliseconds, set when
 	// the run finishes.
 	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
+	// Progress is a live snapshot of the run's sweep execution — points
+	// done over scheduled, checkpoint outcomes, per-point wall costs —
+	// present from the moment a worker picks the run up, including on
+	// completed runs (where it is the final tally).
+	Progress *run.ProgressSnapshot `json:"progress,omitempty"`
+	// EtaMS estimates the remaining wall milliseconds of a running run
+	// from the scheduled points and observed per-point cost; 0 when the
+	// run is not running or nothing has completed yet.
+	EtaMS int64 `json:"eta_ms,omitempty"`
+	// Evicted marks a tombstone: the run hit the registry's retention cap
+	// and its artifacts (output, metrics, trace) were dropped, leaving the
+	// lifecycle record.
+	Evicted bool `json:"evicted,omitempty"`
 
 	// output is the experiment's rendered tables — exactly what apbench
 	// would have printed to stdout. metrics is the run's merged snapshot
 	// and groups its per-benchmark snapshots (for the attribution report).
 	// All are populated only once the run is done and are immutable
-	// afterwards, so handlers may serve them without copying.
+	// afterwards, so handlers may serve them without copying. Eviction
+	// nils them under the registry lock; handlers re-check through the
+	// lock (lookup copies), never through a stale view.
 	output  []byte
 	metrics obs.Snapshot
 	groups  map[string]obs.Snapshot
+
+	// trace is the run's wall-clock lifecycle trace and structured event
+	// log, created at submission (epoch = submission time) and emitted
+	// into by the executing worker; it is concurrency-safe, so handlers
+	// export it while the run is in flight. progress is the live tracker
+	// the worker's runner reports into. jobs is the run's simulation
+	// worker-pool width, for the ETA estimate.
+	trace    *obs.WallTracer
+	progress *run.Progress
+	jobs     int
 }
 
 // view returns a shallow copy of the run's JSON-visible fields, safe to
 // marshal after the registry lock is released. output and metrics are
 // intentionally shared: they are written once, before the run is marked
-// done, and never mutated after.
-func (r *Run) view() Run { return *r }
+// done, and never mutated after. The progress snapshot is taken here so
+// every view carries a consistent live reading.
+func (r *Run) view() Run {
+	v := *r
+	if r.progress != nil && r.Started != nil {
+		snap := r.progress.Snapshot()
+		v.Progress = &snap
+		if r.State == StateRunning {
+			v.EtaMS = snap.ETA(r.jobs).Milliseconds()
+		}
+	}
+	return v
+}
 
-// registry is the server's run table: id allocation, lookup, and listing.
+// registry is the server's run table: id allocation, lookup, listing, and
+// retention. Completed and failed runs are capped at retain entries:
+// finalize evicts the oldest terminal runs' artifacts (output, metrics,
+// trace) beyond the cap, keeping each evicted run's lifecycle record as a
+// tombstone, so the registry's memory stays bounded under sustained load.
 type registry struct {
-	mu   sync.Mutex
-	next int
-	runs map[string]*Run
+	mu     sync.Mutex
+	next   int
+	runs   map[string]*Run
+	retain int
+	// terminal lists terminal (done/failed), not-yet-evicted run ids in
+	// completion order — the eviction queue.
+	terminal []string
 }
 
-func newRegistry() *registry {
-	return &registry{runs: make(map[string]*Run)}
+func newRegistry(retain int) *registry {
+	return &registry{runs: make(map[string]*Run), retain: retain}
 }
 
-// add registers a freshly submitted run and assigns its id.
-func (g *registry) add(req Request, now time.Time) *Run {
+// add registers a freshly submitted run and assigns its id. The run's
+// wall-clock trace, progress tracker, and per-run jobs width are attached
+// here, under the lock, so no published run is ever mutated outside it.
+func (g *registry) add(req Request, now time.Time, trace *obs.WallTracer, prog *run.Progress, jobs int) *Run {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.next++
@@ -97,9 +144,40 @@ func (g *registry) add(req Request, now time.Time) *Run {
 		Request:   req,
 		State:     StateQueued,
 		Submitted: now,
+		trace:     trace,
+		progress:  prog,
+		jobs:      jobs,
 	}
 	g.runs[r.ID] = r
 	return r
+}
+
+// finalize enqueues a terminal run for retention accounting and evicts
+// the oldest terminal runs beyond the cap. It returns how many runs were
+// evicted by this call, for the server's counter.
+func (g *registry) finalize(id string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.runs[id]; !ok {
+		return 0
+	}
+	g.terminal = append(g.terminal, id)
+	evicted := 0
+	for len(g.terminal) > g.retain {
+		victim := g.terminal[0]
+		g.terminal = g.terminal[1:]
+		r, ok := g.runs[victim]
+		if !ok {
+			continue
+		}
+		r.Evicted = true
+		r.output = nil
+		r.metrics = nil
+		r.groups = nil
+		r.trace = nil
+		evicted++
+	}
+	return evicted
 }
 
 // get returns a consistent copy of one run.

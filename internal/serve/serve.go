@@ -20,6 +20,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strings"
 	"sync/atomic"
@@ -47,6 +48,14 @@ type Config struct {
 	RunTimeout time.Duration
 	// JobsPerRun is the simulation worker-pool width inside each run.
 	JobsPerRun int
+	// RetainRuns caps how many completed or failed runs keep their
+	// artifacts: beyond it the oldest terminal runs are evicted oldest
+	// first — artifacts dropped, lifecycle tombstone kept — so the
+	// registry stays bounded under sustained load. Values <= 0 use 256.
+	RetainRuns int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ for live
+	// wall-clock profiling of the daemon itself.
+	EnablePprof bool
 	// Logger receives structured request and lifecycle logs; nil discards.
 	Logger *slog.Logger
 }
@@ -66,6 +75,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobsPerRun <= 0 {
 		c.JobsPerRun = runtime.NumCPU()
+	}
+	if c.RetainRuns <= 0 {
+		c.RetainRuns = 256
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
@@ -94,8 +106,10 @@ type Server struct {
 	runsRejected  obs.LiveCounter
 	runsCompleted obs.LiveCounter
 	runsFailed    obs.LiveCounter
+	runsEvicted   obs.LiveCounter
 	runsActive    obs.LiveGauge
 	runNS         obs.LiveHistogram // wall-clock run durations
+	queueWait     obs.LiveHistogram // wall-clock submit -> worker pickup
 
 	httpRequests obs.LiveCounter
 	httpErrors   obs.LiveCounter
@@ -111,7 +125,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:         cfg,
 		log:         cfg.Logger,
-		reg:         newRegistry(),
+		reg:         newRegistry(cfg.RetainRuns),
 		queue:       make(chan string, cfg.QueueDepth),
 		agg:         run.NewCollector(),
 		live:        obs.New(),
@@ -127,10 +141,12 @@ func New(cfg Config) *Server {
 	s.live.Counter("serve.runs_rejected", s.runsRejected.Load)
 	s.live.Counter("serve.runs_completed", s.runsCompleted.Load)
 	s.live.Counter("serve.runs_failed", s.runsFailed.Load)
+	s.live.Counter("serve.runs_evicted", s.runsEvicted.Load)
 	s.live.Gauge("serve.runs_active", s.runsActive.Load)
 	s.live.Gauge("serve.queue_depth", func() int64 { return int64(len(s.queue)) })
 	s.live.Gauge("serve.queue_capacity", func() int64 { return int64(cap(s.queue)) })
 	s.live.LiveHistogram("serve.run_wall", &s.runNS)
+	s.live.LiveHistogram("serve.queue_wait", &s.queueWait)
 	s.live.Counter("serve.http_requests", s.httpRequests.Load)
 	s.live.Counter("serve.http_errors", s.httpErrors.Load)
 	s.live.Counter("serve.http_panics", s.httpPanics.Load)
@@ -143,6 +159,18 @@ func New(cfg Config) *Server {
 	s.handle("GET /api/v1/runs/{id}/output", s.handleOutput)
 	s.handle("GET /api/v1/runs/{id}/metrics", s.handleRunMetrics)
 	s.handle("GET /api/v1/runs/{id}/report", s.handleReport)
+	s.handle("GET /api/v1/runs/{id}/progress", s.handleProgress)
+	s.handle("GET /api/v1/runs/{id}/trace", s.handleTrace)
+	if cfg.EnablePprof {
+		// The pprof routes bypass the per-route histograms (a profile
+		// endpoint streaming for seconds would only distort them) but stay
+		// inside the recoverer.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.handler = s.recoverer(s.mux)
 	return s
 }
@@ -224,30 +252,86 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 	return nil
 }
 
-// finish moves a run to a terminal state under the registry lock.
+// finish moves a run to a terminal state under the registry lock, stamps
+// the terminal transition into the run's event log, and applies the
+// retention cap: terminal runs beyond RetainRuns are evicted oldest
+// first, counted in serve.runs_evicted.
 func (s *Server) finish(id string, st State, errMsg string, elapsed time.Duration) {
 	now := time.Now()
+	var trace *obs.WallTracer
 	s.reg.update(id, func(r *Run) {
 		r.State = st
 		r.Error = errMsg
 		r.Finished = &now
 		r.ElapsedMS = elapsed.Milliseconds()
+		trace = r.trace
 	})
+	var attrs map[string]string
+	if errMsg != "" {
+		attrs = map[string]string{"error": errMsg}
+	}
+	trace.Log(now, "run "+string(st), attrs)
+	if n := s.reg.finalize(id); n > 0 {
+		s.runsEvicted.Add(uint64(n))
+		s.log.Info("runs evicted", "count", n, "retain", s.cfg.RetainRuns)
+	}
+}
+
+// newRunProgress builds the progress tracker one run's runner reports
+// into, wired to emit wall-clock spans and event-log entries into the
+// run's trace: one span per scheduled sweep point, one benchmark-labeled
+// span per measurement carrying its checkpoint outcomes, and an instant
+// plus log entry per experiment the dispatch enters. The callbacks run on
+// the run's worker goroutine; the trace is concurrency-safe against
+// handlers exporting it mid-run.
+func newRunProgress(trace *obs.WallTracer) *run.Progress {
+	return &run.Progress{
+		OnLabel: func(label string) {
+			now := time.Now()
+			trace.Instant(obs.TIDWallLifecycle, "serve", "experiment:"+label, now)
+			trace.Log(now, "experiment", map[string]string{"name": label})
+		},
+		OnPoint: func(ev run.PointEvent) {
+			trace.SpanArg(obs.TIDWallPoints, "point",
+				fmt.Sprintf("point %d/%d", ev.Done, ev.Total), ev.Start, ev.Wall, ev.Done)
+		},
+		OnMeasure: func(ev run.MeasureEvent) {
+			name := fmt.Sprintf("%s p=%g", ev.Benchmark, ev.Pages)
+			if ev.ConvCheckpoint != "" {
+				name += " conv=" + ev.ConvCheckpoint + " ap=" + ev.APCheckpoint
+			}
+			trace.Span(obs.TIDWallMeasures, "measure", name, ev.Start, ev.Wall)
+		},
+	}
 }
 
 // execute runs one queued experiment on this worker, bounded by
-// RunTimeout.
+// RunTimeout. The run's wall-clock trace receives the whole lifecycle:
+// the queue-wait span closes at pickup (and feeds the serve.queue_wait
+// histogram), every sweep point and measurement lands as a span via the
+// progress tracker, and execute/artifact-write spans close at completion.
 func (s *Server) execute(id string) {
 	var req Request
+	var trace *obs.WallTracer
+	var prog *run.Progress
 	now := time.Now()
+	var queued time.Time
 	s.reg.update(id, func(r *Run) {
 		req = r.Request
 		r.State = StateRunning
 		r.Started = &now
+		queued = r.Submitted
+		trace = r.trace
+		prog = r.progress
 	})
+	qw := now.Sub(queued)
+	s.queueWait.Observe(wallDuration(qw))
+	trace.Span(obs.TIDWallLifecycle, "serve", "queue_wait", queued, qw)
+	trace.Log(now, "worker pickup", map[string]string{"queue_wait": qw.String()})
 	s.runsActive.Add(1)
 	defer s.runsActive.Add(-1)
-	s.log.Info("run started", "id", id, "request", req.String())
+	s.log.Info("run started", "id", id, "request", req.String(),
+		"queue_wait_ms", qw.Milliseconds())
 
 	type result struct {
 		out    []byte
@@ -261,7 +345,7 @@ func (s *Server) execute(id string) {
 	go func() {
 		var buf bytes.Buffer
 		runner := (&run.Runner{Jobs: s.cfg.JobsPerRun, Context: ctx,
-			Checkpoints: s.checkpoints}).WithMetrics()
+			Checkpoints: s.checkpoints, Progress: prog}).WithMetrics()
 		cfg := radram.DefaultConfig().WithPageBytes(experiments.ScaledPageBytes)
 		if req.PageBytes != 0 {
 			cfg = radram.DefaultConfig().WithPageBytes(req.PageBytes)
@@ -281,6 +365,7 @@ func (s *Server) execute(id string) {
 	case res := <-done:
 		elapsed := time.Since(now)
 		s.runNS.Observe(wallDuration(elapsed))
+		trace.Span(obs.TIDWallLifecycle, "serve", "execute", now, elapsed)
 		if res.err != nil {
 			s.runsFailed.Inc()
 			s.finish(id, StateFailed, res.err.Error(), elapsed)
@@ -288,11 +373,14 @@ func (s *Server) execute(id string) {
 			return
 		}
 		s.agg.Add(res.snap)
+		wstart := time.Now()
 		s.reg.update(id, func(r *Run) {
 			r.output = res.out
 			r.metrics = res.snap
 			r.groups = res.groups
 		})
+		trace.SpanArg(obs.TIDWallLifecycle, "serve", "artifact_write",
+			wstart, time.Since(wstart), int64(len(res.out)))
 		s.runsCompleted.Inc()
 		s.finish(id, StateDone, "", elapsed)
 		s.log.Info("run done", "id", id, "elapsed_ms", elapsed.Milliseconds(), "output_bytes", len(res.out))
@@ -304,6 +392,7 @@ func (s *Server) execute(id string) {
 		// anything to completion. Its result is discarded (done is
 		// buffered, so the send never blocks).
 		cancel()
+		trace.Span(obs.TIDWallLifecycle, "serve", "execute (timed out)", now, s.cfg.RunTimeout)
 		s.runsFailed.Inc()
 		s.finish(id, StateFailed,
 			fmt.Sprintf("timed out after %s (simulation abandoned)", s.cfg.RunTimeout), s.cfg.RunTimeout)
@@ -315,10 +404,10 @@ func (s *Server) execute(id string) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // backendSlices maps each Active-Page backend name to the machine
@@ -365,19 +454,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
 	if err := req.validate(experiments.IsKnown); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if s.draining.Load() {
 		s.runsRejected.Inc()
-		writeError(w, http.StatusServiceUnavailable, "daemon is shutting down")
+		s.writeError(w, http.StatusServiceUnavailable, "daemon is shutting down")
 		return
 	}
-	rn := s.reg.add(req, time.Now())
+	now := time.Now()
+	// The run's wall-clock trace starts at submission (epoch zero), so the
+	// queue-wait span renders from the origin of the run's timeline.
+	trace := obs.NewWallTracer(now, 0)
+	rn := s.reg.add(req, now, trace, newRunProgress(trace), s.cfg.JobsPerRun)
+	trace.SetProcess(1, rn.ID+" (wall clock)")
+	trace.Log(now, "submitted", map[string]string{"request": req.String()})
 	select {
 	case s.queue <- rn.ID:
 	default:
@@ -386,7 +481,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// counter.
 		s.reg.remove(rn.ID)
 		s.runsRejected.Inc()
-		writeError(w, http.StatusServiceUnavailable,
+		s.writeError(w, http.StatusServiceUnavailable,
 			fmt.Sprintf("run queue full (%d queued)", cap(s.queue)))
 		return
 	}
@@ -396,7 +491,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Re-fetch under the registry lock: a worker may already be mutating
 	// the run, and view copies must never race it.
 	view, _ := s.reg.get(rn.ID)
-	writeJSON(w, http.StatusAccepted, view)
+	s.writeJSON(w, http.StatusAccepted, view)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -404,7 +499,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		Runs   []Run         `json:"runs"`
 		Counts map[State]int `json:"counts"`
 	}
-	writeJSON(w, http.StatusOK, listing{Runs: s.reg.list(), Counts: s.reg.counts()})
+	s.writeJSON(w, http.StatusOK, listing{Runs: s.reg.list(), Counts: s.reg.counts()})
 }
 
 // lookup fetches the run named by the request path, writing the 404 itself.
@@ -412,20 +507,26 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (Run, bool) {
 	id := r.PathValue("id")
 	rn, ok := s.reg.get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("no run %q", id))
+		s.writeError(w, http.StatusNotFound, fmt.Sprintf("no run %q", id))
 	}
 	return rn, ok
 }
 
-// lookupDone additionally requires the run to have produced output.
+// lookupDone additionally requires the run to have produced output and to
+// still hold it: an evicted tombstone answers 410 Gone.
 func (s *Server) lookupDone(w http.ResponseWriter, r *http.Request) (Run, bool) {
 	rn, ok := s.lookup(w, r)
 	if !ok {
 		return rn, false
 	}
 	if rn.State != StateDone {
-		writeError(w, http.StatusConflict,
+		s.writeError(w, http.StatusConflict,
 			fmt.Sprintf("run %s is %s, not done", rn.ID, rn.State))
+		return rn, false
+	}
+	if rn.Evicted {
+		s.writeError(w, http.StatusGone,
+			fmt.Sprintf("run %s artifacts evicted (retention cap %d)", rn.ID, s.cfg.RetainRuns))
 		return rn, false
 	}
 	return rn, true
@@ -433,7 +534,7 @@ func (s *Server) lookupDone(w http.ResponseWriter, r *http.Request) (Run, bool) 
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	if rn, ok := s.lookup(w, r); ok {
-		writeJSON(w, http.StatusOK, rn)
+		s.writeJSON(w, http.StatusOK, rn)
 	}
 }
 
@@ -453,7 +554,7 @@ func (s *Server) handleRunMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := rn.metrics.JSON()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		s.writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -476,16 +577,91 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	report.FromGroups(groups).WriteTo(w)
 }
 
+// handleProgress serves a live (or final) view of a run's sweep
+// execution: point counts, checkpoint outcomes, an ETA while running, and
+// the structured event log of lifecycle transitions. Unlike the artifact
+// endpoints it answers for every state — a queued run reports zeros, a
+// running run its current counts, a finished run its final tally, an
+// evicted tombstone its counters without the event log.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	rn, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	type progressResponse struct {
+		ID        string               `json:"id"`
+		State     State                `json:"state"`
+		Error     string               `json:"error,omitempty"`
+		Submitted time.Time            `json:"submitted"`
+		Started   *time.Time           `json:"started,omitempty"`
+		Finished  *time.Time           `json:"finished,omitempty"`
+		Progress  run.ProgressSnapshot `json:"progress"`
+		EtaMS     int64                `json:"eta_ms,omitempty"`
+		Evicted   bool                 `json:"evicted,omitempty"`
+		Events    []obs.WallEvent      `json:"events,omitempty"`
+	}
+	resp := progressResponse{
+		ID:        rn.ID,
+		State:     rn.State,
+		Error:     rn.Error,
+		Submitted: rn.Submitted,
+		Started:   rn.Started,
+		Finished:  rn.Finished,
+		Progress:  rn.progress.Snapshot(),
+		Evicted:   rn.Evicted,
+		Events:    rn.trace.Events(),
+	}
+	if rn.State == StateRunning {
+		resp.EtaMS = resp.Progress.ETA(rn.jobs).Milliseconds()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+	// Progress responses are poll loops' payload: push them out now so a
+	// client behind buffering proxies sees each sample promptly.
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// handleTrace serves the run's wall-clock lifecycle trace as Perfetto-
+// loadable Chrome trace_event JSON — for running runs (a consistent
+// prefix of the final trace) and completed ones alike. The export holds
+// the tracer's lock, so it never tears against the executing worker.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	rn, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if rn.Evicted || rn.trace == nil {
+		s.writeError(w, http.StatusGone,
+			fmt.Sprintf("run %s trace evicted (retention cap %d)", rn.ID, s.cfg.RetainRuns))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := rn.trace.WriteChrome(w); err != nil {
+		s.log.Debug("trace write failed", "id", rn.ID, "err", err.Error())
+		return
+	}
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // --- response helpers ---
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON renders v as the response body. Encode errors after the header
+// has gone out cannot change the status anymore, but they are no longer
+// silent: a client hanging up mid-body or an unmarshalable value logs at
+// debug, so a flaky endpoint is diagnosable from the daemon's logs.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.log.Debug("writeJSON encode failed", "status", code, "err", err.Error())
+	}
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	s.writeJSON(w, code, map[string]string{"error": msg})
 }
