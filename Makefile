@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench microbench quickbench simdram-quick loadtest paper clean
+.PHONY: all build test race vet bench microbench quickbench simdram-quick loadtest fleettest paper clean
 
 all: build test
 
@@ -55,6 +55,19 @@ loadtest:
 	pid=$$!; \
 	for i in $$(seq 1 50); do curl -sf http://127.0.0.1:8098/healthz > /dev/null && break; sleep 0.2; done; \
 	/tmp/apload -addr http://127.0.0.1:8098 -n 50 -c 8 -experiment array -quick; rc=$$?; \
+	kill -TERM $$pid; wait $$pid; exit $$rc
+
+# Boot a consistent-hash fleet (router + 3 in-process shards) and drive it
+# with a Zipf-skewed spec mix: one-command smoke of the content-addressed
+# cache + sharding stack, reporting throughput and cache hit rate.
+fleettest:
+	$(GO) build -o /tmp/aprouted ./cmd/aprouted
+	$(GO) build -o /tmp/apload ./cmd/apload
+	@/tmp/aprouted -addr 127.0.0.1:8099 -spawn 3 -workers 2 -loglevel warn 2> /tmp/aprouted-fleettest.log & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do curl -sf http://127.0.0.1:8099/healthz > /dev/null && break; sleep 0.2; done; \
+	/tmp/apload -addr http://127.0.0.1:8099 -n 500 -c 8 -zipf 1.1 -specs 12 -seed 7; rc=$$?; \
+	curl -s http://127.0.0.1:8099/metrics | grep -E 'ap_router_(requests|retries|shed|cache_hits|cache_misses)'; \
 	kill -TERM $$pid; wait $$pid; exit $$rc
 
 # Regenerate every table and figure of the paper's evaluation.

@@ -1,0 +1,122 @@
+// Command aprouted fronts a fleet of apserved shards: it consistent-hashes
+// each submission's canonical spec onto a backend ring, so every repeat of
+// a spec lands on the shard whose result cache already holds it, and fails
+// over to the next replica in ring order when a shard is down or shedding.
+//
+// Usage:
+//
+//	aprouted -addr 127.0.0.1:8090 -backends http://127.0.0.1:9101,http://127.0.0.1:9102
+//	aprouted -addr 127.0.0.1:8090 -spawn 3 -workers 1
+//
+// -backends fronts externally-started apserved processes; -spawn N starts
+// N shards in-process on ephemeral ports (instance ids b0..bN-1), which is
+// the one-command fleet for local experiments. The two compose: spawned
+// shards are appended to the -backends list.
+//
+// API (client-compatible with a single apserved):
+//
+//	GET  /healthz                   503 when no backend is healthy
+//	GET  /metrics                   ap_router_* counters: requests, retries,
+//	                                shed, cache hits/misses/dedup seen on
+//	                                routed submissions, healthy-backend gauge
+//	POST /api/v1/runs               routed by spec hash, retried on failover
+//	GET  /api/v1/runs               fleet-wide listing merged from all shards
+//	GET  /api/v1/runs/{id}[/...]    proxied to the shard owning the id prefix
+//
+// The router is stateless: all run state lives in the shards, so any
+// number of router replicas over the same backend list route identically.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"activepages/internal/fleet"
+	"activepages/internal/serve"
+)
+
+func main() {
+	if err := realMain(); err != nil {
+		fmt.Fprintln(os.Stderr, "aprouted:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8090", "router listen address")
+		backends = flag.String("backends", "", "comma-separated apserved base URLs")
+		spawn    = flag.Int("spawn", 0, "apserved shards to start in-process on ephemeral ports")
+		interval = flag.Duration("healthinterval", 2*time.Second, "backend health-probe period")
+		workers  = flag.Int("workers", 2, "concurrent runs per spawned shard")
+		queue    = flag.Int("queue", 16, "queue depth per spawned shard")
+		jobs     = flag.Int("jobs", runtime.NumCPU(), "simulation worker-pool width per run in spawned shards")
+		cacheMB  = flag.Int("cachemb", 0, "result cache budget per spawned shard in MiB (0 = default)")
+		nocache  = flag.Bool("nocache", false, "disable the result cache in spawned shards")
+		logLevel = flag.String("loglevel", "info", "log level: debug, info, warn, error")
+	)
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -loglevel: %w", err)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+
+	var urls []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			urls = append(urls, strings.TrimSuffix(b, "/"))
+		}
+	}
+
+	var locals []*fleet.LocalBackend
+	for i := 0; i < *spawn; i++ {
+		lb, err := fleet.StartLocal(serve.Config{
+			Workers:      *workers,
+			QueueDepth:   *queue,
+			JobsPerRun:   *jobs,
+			InstanceID:   fmt.Sprintf("b%d", i),
+			DisableCache: *nocache,
+			CacheBudget:  uint64(*cacheMB) << 20,
+			Logger:       logger.With("shard", fmt.Sprintf("b%d", i)),
+		})
+		if err != nil {
+			return err
+		}
+		logger.Info("shard spawned", "instance", fmt.Sprintf("b%d", i), "url", lb.URL())
+		locals = append(locals, lb)
+		urls = append(urls, lb.URL())
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("no backends: pass -backends and/or -spawn")
+	}
+
+	rt := fleet.NewRouter(fleet.Config{
+		Addr:           *addr,
+		Backends:       urls,
+		HealthInterval: *interval,
+		Logger:         logger,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := rt.ListenAndServe(ctx.Done())
+	grace, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, lb := range locals {
+		if serr := lb.Stop(grace); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return err
+}

@@ -30,6 +30,14 @@
 // trace) but keep a lifecycle tombstone, so memory stays bounded under
 // sustained load.
 //
+// Results are memoized by canonical spec: a submission identical to a
+// completed run answers instantly from the content-addressed cache
+// (bounded by -cachemb, LRU-evicted), and concurrent identical
+// submissions collapse onto one execution. -nocache restores the
+// always-recompute behavior for baseline measurements. -instance gives
+// the daemon a fleet shard id: run ids become "b0-r000001" so an aprouted
+// front can route reads by prefix.
+//
 // Logs are JSON (log/slog) on stderr: one access line per request and one
 // lifecycle line per run transition. SIGINT/SIGTERM shut down gracefully:
 // the listener closes, in-flight runs finish (bounded by -runtimeout), and
@@ -67,6 +75,10 @@ func realMain() error {
 		retain     = flag.Int("retain", 256, "completed/failed runs kept with artifacts before eviction")
 		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		logLevel   = flag.String("loglevel", "info", "log level: debug, info, warn, error")
+		instance   = flag.String("instance", "", "fleet instance id prefixed to run ids (e.g. b0)")
+		nocache    = flag.Bool("nocache", false, "disable the content-addressed result cache (always recompute)")
+		nocheck    = flag.Bool("nocheckpoint", false, "disable checkpoint/branch sweep reuse across runs (A/B timing)")
+		cacheMB    = flag.Int("cachemb", 0, "result cache byte budget in MiB (0 = default 256)")
 	)
 	flag.Parse()
 
@@ -78,14 +90,18 @@ func realMain() error {
 	slog.SetDefault(logger)
 
 	s := serve.New(serve.Config{
-		Addr:        *addr,
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		RunTimeout:  *runTimeout,
-		JobsPerRun:  *jobs,
-		RetainRuns:  *retain,
-		EnablePprof: *pprofOn,
-		Logger:      logger,
+		Addr:               *addr,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		RunTimeout:         *runTimeout,
+		JobsPerRun:         *jobs,
+		RetainRuns:         *retain,
+		EnablePprof:        *pprofOn,
+		InstanceID:         *instance,
+		DisableCache:       *nocache,
+		DisableCheckpoints: *nocheck,
+		CacheBudget:        uint64(*cacheMB) << 20,
+		Logger:             logger,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,458 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"activepages/internal/obs"
+	"activepages/internal/serve"
+)
+
+// Config carries the router's knobs. The zero value of every field selects
+// a sensible default (see withDefaults).
+type Config struct {
+	// Addr is the router's listen address.
+	Addr string
+	// Backends lists the shard base URLs, e.g. "http://127.0.0.1:9101".
+	// Order does not matter: ring placement depends only on the URLs.
+	Backends []string
+	// HealthInterval is how often each backend's /healthz is probed.
+	HealthInterval time.Duration
+	// Client issues all proxied requests; nil builds one with sane timeouts.
+	Client *http.Client
+	// Logger receives structured routing logs; nil discards.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:8090"
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.Client == nil {
+		// The default transport keeps only 2 idle connections per host;
+		// under a concurrent cache-hit load every proxied request would
+		// then pay a fresh TCP dial to the shard, capping throughput far
+		// below what the shards serve. A deep idle pool keeps the hot path
+		// dial-free.
+		c.Client = &http.Client{
+			Timeout: 15 * time.Minute,
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// backendState is one shard as the router sees it: reachable or not, and
+// the run-id prefix it stamps on its runs (learned from /healthz), which
+// routes GETs by id back to the shard that owns the run.
+type backendState struct {
+	healthy  bool
+	instance string
+}
+
+// Router is the stateless fleet front: it consistent-hashes each
+// submission's canonical spec key onto the backend ring, retries the next
+// replica in ring order when the owner is down or shedding, and proxies
+// reads to the shard named by the run id's instance prefix. It keeps no
+// run state — every byte a client sees comes from a shard — so routers
+// scale horizontally and restart without losing anything.
+type Router struct {
+	cfg    Config
+	log    *slog.Logger
+	ring   *ring
+	client *http.Client
+
+	mu    sync.Mutex
+	state map[string]*backendState
+
+	live        *obs.Registry
+	requests    obs.LiveCounter // submissions accepted for routing
+	retries     obs.LiveCounter // failovers to a later replica in ring order
+	shed        obs.LiveCounter // submissions that exhausted every replica
+	cacheHits   obs.LiveCounter // backend answered from its result cache
+	cacheMisses obs.LiveCounter // backend queued a cold execution
+	cacheDedup  obs.LiveCounter // backend attached the submission to an in-flight run
+	proxyErrors obs.LiveCounter // proxied reads that failed at the transport
+
+	mux http.Handler
+}
+
+// NewRouter builds a router over the given backends. Health state starts
+// pessimistic (all unknown backends are unhealthy) until the first probe;
+// call ProbeHealth or Start before serving.
+func NewRouter(cfg Config) *Router {
+	cfg = cfg.withDefaults()
+	rt := &Router{
+		cfg:    cfg,
+		log:    cfg.Logger,
+		ring:   newRing(cfg.Backends),
+		client: cfg.Client,
+		state:  make(map[string]*backendState, len(cfg.Backends)),
+		live:   obs.New(),
+	}
+	for _, b := range cfg.Backends {
+		rt.state[b] = &backendState{}
+	}
+
+	rt.live.Counter("router.requests", rt.requests.Load)
+	rt.live.Counter("router.retries", rt.retries.Load)
+	rt.live.Counter("router.shed", rt.shed.Load)
+	rt.live.Counter("router.cache_hits", rt.cacheHits.Load)
+	rt.live.Counter("router.cache_misses", rt.cacheMisses.Load)
+	rt.live.Counter("router.cache_dedup", rt.cacheDedup.Load)
+	rt.live.Counter("router.proxy_errors", rt.proxyErrors.Load)
+	rt.live.Gauge("router.backends_total", func() int64 { return int64(len(cfg.Backends)) })
+	rt.live.Gauge("router.backends_healthy", func() int64 {
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+		n := int64(0)
+		for _, st := range rt.state {
+			if st.healthy {
+				n++
+			}
+		}
+		return n
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	mux.HandleFunc("POST /api/v1/runs", rt.handleSubmit)
+	mux.HandleFunc("GET /api/v1/runs", rt.handleList)
+	mux.HandleFunc("GET /api/v1/runs/{id}", rt.handleProxyGet)
+	mux.HandleFunc("GET /api/v1/runs/{id}/{artifact...}", rt.handleProxyGet)
+	rt.mux = mux
+	return rt
+}
+
+// Handler returns the router's HTTP handler (for tests and embedding).
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// ProbeHealth probes every backend's /healthz once, synchronously,
+// updating health state and learning instance prefixes. Returns how many
+// backends are healthy after the sweep.
+func (rt *Router) ProbeHealth() int {
+	healthy := 0
+	for _, b := range rt.cfg.Backends {
+		ok, instance := rt.probe(b)
+		rt.mu.Lock()
+		st := rt.state[b]
+		if ok != st.healthy {
+			rt.log.Info("backend health changed", "backend", b, "healthy", ok)
+		}
+		st.healthy = ok
+		if instance != "" {
+			st.instance = instance
+		}
+		rt.mu.Unlock()
+		if ok {
+			healthy++
+		}
+	}
+	return healthy
+}
+
+// probe checks one backend. A draining daemon answers /healthz with 503
+// but still names its instance, so the prefix table stays complete even
+// while a shard is leaving the fleet.
+func (rt *Router) probe(backend string) (healthy bool, instance string) {
+	client := &http.Client{Timeout: 2 * time.Second}
+	resp, err := client.Get(backend + "/healthz")
+	if err != nil {
+		return false, ""
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Status   string `json:"status"`
+		Instance string `json:"instance"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err != nil {
+		return false, ""
+	}
+	return resp.StatusCode == http.StatusOK && body.Status == "ok", body.Instance
+}
+
+// Start launches the periodic health prober (after one synchronous sweep,
+// so routing decisions are informed from the first request) and returns.
+// The prober stops when stop is closed.
+func (rt *Router) Start(stop <-chan struct{}) {
+	rt.ProbeHealth()
+	go func() {
+		t := time.NewTicker(rt.cfg.HealthInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				rt.ProbeHealth()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// ListenAndServe binds cfg.Addr and serves until stop is closed.
+func (rt *Router) ListenAndServe(stop <-chan struct{}) error {
+	rt.Start(stop)
+	srv := &http.Server{Addr: rt.cfg.Addr, Handler: rt.mux, ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	rt.log.Info("aprouted listening", "addr", rt.cfg.Addr, "backends", len(rt.cfg.Backends))
+	select {
+	case err := <-errc:
+		return err
+	case <-stop:
+		return srv.Close()
+	}
+}
+
+// healthyFirst partitions a ring preference order so healthy backends keep
+// their relative order ahead of unhealthy ones. Unhealthy backends stay in
+// the list as a last resort: the prober's view can be stale in both
+// directions, and a submission should only shed when the whole fleet
+// actually refuses it.
+func (rt *Router) healthyFirst(order []string) []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]string, 0, len(order))
+	sort.SliceStable(order, func(i, j int) bool {
+		return rt.state[order[i]].healthy && !rt.state[order[j]].healthy
+	})
+	return append(out, order...)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	healthy := 0
+	for _, st := range rt.state {
+		if st.healthy {
+			healthy++
+		}
+	}
+	rt.mu.Unlock()
+	code := http.StatusOK
+	status := "ok"
+	if healthy == 0 {
+		code = http.StatusServiceUnavailable
+		status = "no healthy backends"
+	}
+	writeJSON(w, code, map[string]any{
+		"status": status, "backends_healthy": healthy, "backends_total": len(rt.cfg.Backends),
+	})
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ExpositionContentType)
+	obs.WriteExposition(w, rt.live.Snapshot())
+}
+
+// handleSubmit routes one submission: canonicalize the spec, walk the
+// ring's preference order (healthy shards first), and relay the first
+// conclusive answer. A refused attempt — transport error, or 503 from a
+// draining or queue-full shard — fails over to the next replica and
+// counts one retry; only exhausting the whole list sheds the submission.
+func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	var req serve.Request
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	rt.requests.Inc()
+
+	spec := serve.SpecKey(req)
+	order := rt.healthyFirst(rt.ring.order(spec))
+	for attempt, backend := range order {
+		if attempt > 0 {
+			rt.retries.Inc()
+		}
+		resp, err := rt.client.Post(backend+"/api/v1/runs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			rt.log.Warn("submit attempt failed", "backend", backend, "err", err.Error())
+			rt.markUnhealthy(backend)
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// Draining or queue-full: this shard refuses, the next may not.
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			rt.log.Info("submit refused, failing over", "backend", backend, "spec", spec[:12])
+			continue
+		}
+		switch resp.Header.Get(serve.CacheResultHeader) {
+		case "hit":
+			rt.cacheHits.Inc()
+		case "miss":
+			rt.cacheMisses.Inc()
+		case "dedup":
+			rt.cacheDedup.Inc()
+		}
+		relay(w, resp)
+		return
+	}
+	rt.shed.Inc()
+	writeJSON(w, http.StatusServiceUnavailable,
+		map[string]string{"error": fmt.Sprintf("no backend accepted the run (%d tried)", len(order))})
+}
+
+// handleList merges every healthy shard's run listing into one fleet-wide
+// view: runs concatenated and sorted by id (instance prefix first, so each
+// shard's runs group together), per-state counts summed.
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	type listing struct {
+		Runs   []serve.Run         `json:"runs"`
+		Counts map[serve.State]int `json:"counts"`
+		Shards map[string]int      `json:"shards,omitempty"`
+	}
+	merged := listing{Counts: make(map[serve.State]int), Shards: make(map[string]int)}
+	for _, backend := range rt.cfg.Backends {
+		resp, err := rt.client.Get(backend + "/api/v1/runs")
+		if err != nil {
+			rt.proxyErrors.Inc()
+			continue
+		}
+		var one listing
+		err = json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&one)
+		resp.Body.Close()
+		if err != nil {
+			rt.proxyErrors.Inc()
+			continue
+		}
+		merged.Runs = append(merged.Runs, one.Runs...)
+		for st, n := range one.Counts {
+			merged.Counts[st] += n
+		}
+		merged.Shards[backend] = len(one.Runs)
+	}
+	sort.Slice(merged.Runs, func(i, j int) bool { return merged.Runs[i].ID < merged.Runs[j].ID })
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// handleProxyGet routes a read to the shard that owns the run, named by
+// the id's instance prefix ("b1-r000042" -> the backend whose /healthz
+// reported instance "b1"). An id without a known prefix falls back to
+// asking each shard in turn — correct, just not O(1) — so the router also
+// fronts un-prefixed single daemons.
+func (rt *Router) handleProxyGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if backend := rt.backendForInstance(instancePrefix(id)); backend != "" {
+		rt.proxy(w, r, backend)
+		return
+	}
+	for _, backend := range rt.cfg.Backends {
+		resp, err := rt.do(r, backend)
+		if err != nil {
+			rt.proxyErrors.Inc()
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			continue
+		}
+		relay(w, resp)
+		return
+	}
+	writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("no shard owns run %q", id)})
+}
+
+// instancePrefix extracts the shard instance from a fleet run id:
+// "b1-r000042" -> "b1"; a bare "r000042" (single-daemon format) has none.
+func instancePrefix(id string) string {
+	if i := strings.LastIndex(id, "-"); i > 0 {
+		return id[:i]
+	}
+	return ""
+}
+
+func (rt *Router) backendForInstance(instance string) string {
+	if instance == "" {
+		return ""
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, b := range rt.cfg.Backends {
+		if rt.state[b].instance == instance {
+			return b
+		}
+	}
+	return ""
+}
+
+func (rt *Router) markUnhealthy(backend string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if st, ok := rt.state[backend]; ok {
+		st.healthy = false
+	}
+}
+
+// do re-issues the inbound GET against one backend, forwarding the
+// conditional-request header so ETag revalidation (304) flows end to end.
+func (rt *Router) do(r *http.Request, backend string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, backend+r.URL.Path, nil)
+	if err != nil {
+		return nil, err
+	}
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	return rt.client.Do(req)
+}
+
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, backend string) {
+	resp, err := rt.do(r, backend)
+	if err != nil {
+		rt.proxyErrors.Inc()
+		rt.markUnhealthy(backend)
+		writeJSON(w, http.StatusBadGateway,
+			map[string]string{"error": fmt.Sprintf("shard %s unreachable: %v", backend, err)})
+		return
+	}
+	relay(w, resp)
+}
+
+// relay copies a backend response — status, headers, body — to the client
+// and closes it.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,61 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+
+	"activepages/internal/serve"
+)
+
+// LocalBackend is one apserved shard spawned in-process on an ephemeral
+// port: the same server the standalone daemon runs, minus the process
+// boundary. aprouted -spawn uses it to bring up a whole fleet in one
+// process, and the fleet tests use it to exercise failover by killing a
+// shard mid-run.
+type LocalBackend struct {
+	srv  *serve.Server
+	http *http.Server
+	url  string
+}
+
+// StartLocal binds an ephemeral localhost port and starts a shard on it.
+// cfg.Addr is ignored; cfg.InstanceID should be set so the shard's run ids
+// are routable by prefix.
+func StartLocal(cfg serve.Config) (*LocalBackend, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("fleet: local backend listen: %w", err)
+	}
+	srv := serve.New(cfg)
+	srv.Start()
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return &LocalBackend{
+		srv:  srv,
+		http: hs,
+		url:  "http://" + ln.Addr().String(),
+	}, nil
+}
+
+// URL returns the shard's base URL, e.g. "http://127.0.0.1:43211".
+func (b *LocalBackend) URL() string { return b.url }
+
+// Server exposes the underlying daemon (for tests asserting on metrics).
+func (b *LocalBackend) Server() *serve.Server { return b.srv }
+
+// Stop shuts the shard down gracefully: the listener closes, in-flight
+// requests get the context's grace, and the worker pool drains.
+func (b *LocalBackend) Stop(ctx context.Context) error {
+	if err := b.http.Shutdown(ctx); err != nil {
+		return err
+	}
+	return b.srv.Shutdown(ctx)
+}
+
+// Kill drops the shard abruptly — listener and open connections closed,
+// nothing drained — standing in for a crashed process in failover tests.
+func (b *LocalBackend) Kill() {
+	b.http.Close()
+}

@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"net/http"
+	"strings"
+)
+
+// Run artifacts are immutable once a run is done — and with the result
+// cache they are content-addressed: identical specs serve identical
+// bytes. writeArtifact makes that visible to HTTP caches: every artifact
+// response carries a strong ETag derived from the body's sha256, and a
+// request presenting it back via If-None-Match is answered 304 with no
+// body. Clients polling a fleet (or a dashboard refreshing a report) then
+// revalidate for free.
+func writeArtifact(w http.ResponseWriter, r *http.Request, contentType string, body []byte) {
+	sum := sha256.Sum256(body)
+	etag := `"` + hex.EncodeToString(sum[:]) + `"`
+	w.Header().Set("ETag", etag)
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Write(body)
+}
+
+// etagMatches implements the If-None-Match comparison: a comma-separated
+// list of entity tags, compared weakly (a W/ prefix is ignored — byte
+// identity is exactly what the content hash asserts), with "*" matching
+// any current representation.
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, candidate := range strings.Split(header, ",") {
+		candidate = strings.TrimSpace(candidate)
+		candidate = strings.TrimPrefix(candidate, "W/")
+		if candidate == "*" || candidate == etag {
+			return true
+		}
+	}
+	return false
+}

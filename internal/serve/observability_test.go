@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
@@ -110,8 +111,10 @@ func TestProgressMonotonic(t *testing.T) {
 func TestQueueWaitObserved(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1, JobsPerRun: 2, QueueDepth: 8}, true)
 
+	// Distinct specs: an identical second submission would dedup onto the
+	// first run instead of queueing its own execution.
 	_, first := submit(t, ts, `{"experiment":"array","quick":true}`)
-	_, second := submit(t, ts, `{"experiment":"array","quick":true}`)
+	_, second := submit(t, ts, `{"experiment":"array","quick":true,"page_bytes":16384}`)
 	waitDone(t, ts, first.ID)
 	rn := waitDone(t, ts, second.ID)
 	if rn.State != StateDone {
@@ -226,7 +229,11 @@ func TestRetentionEviction(t *testing.T) {
 
 	var ids []string
 	for i := 0; i < 3; i++ {
-		_, rn := submit(t, ts, `{"experiment":"array","quick":true}`)
+		// Distinct page sizes: identical specs would complete from the
+		// result cache with no sweep points, and the tombstone progress
+		// check below wants executed runs.
+		body := fmt.Sprintf(`{"experiment":"array","quick":true,"page_bytes":%d}`, 8192<<i)
+		_, rn := submit(t, ts, body)
 		if rn := waitDone(t, ts, rn.ID); rn.State != StateDone {
 			t.Fatalf("run %d: %s %s", i, rn.State, rn.Error)
 		}

@@ -73,6 +73,10 @@ type Run struct {
 	// and its artifacts (output, metrics, trace) were dropped, leaving the
 	// lifecycle record.
 	Evicted bool `json:"evicted,omitempty"`
+	// Cached marks a run completed from the content-addressed result
+	// cache: its artifacts are a previous identical run's, byte for byte,
+	// and no simulation executed.
+	Cached bool `json:"cached,omitempty"`
 
 	// output is the experiment's rendered tables — exactly what apbench
 	// would have printed to stdout. metrics is the run's merged snapshot
@@ -90,10 +94,12 @@ type Run struct {
 	// into by the executing worker; it is concurrency-safe, so handlers
 	// export it while the run is in flight. progress is the live tracker
 	// the worker's runner reports into. jobs is the run's simulation
-	// worker-pool width, for the ETA estimate.
+	// worker-pool width, for the ETA estimate. spec is the run's content
+	// address (SpecKey), keying the result cache and singleflight index.
 	trace    *obs.WallTracer
 	progress *run.Progress
 	jobs     int
+	spec     string
 }
 
 // view returns a shallow copy of the run's JSON-visible fields, safe to
@@ -123,30 +129,40 @@ type registry struct {
 	next   int
 	runs   map[string]*Run
 	retain int
+	// instance, when set, prefixes every run id ("b0-r000001"), making ids
+	// globally unique across a sharded fleet so a router can route a GET
+	// by id to the shard that owns it.
+	instance string
 	// terminal lists terminal (done/failed), not-yet-evicted run ids in
 	// completion order — the eviction queue.
 	terminal []string
 }
 
-func newRegistry(retain int) *registry {
-	return &registry{runs: make(map[string]*Run), retain: retain}
+func newRegistry(retain int, instance string) *registry {
+	return &registry{runs: make(map[string]*Run), retain: retain, instance: instance}
 }
 
 // add registers a freshly submitted run and assigns its id. The run's
-// wall-clock trace, progress tracker, and per-run jobs width are attached
-// here, under the lock, so no published run is ever mutated outside it.
-func (g *registry) add(req Request, now time.Time, trace *obs.WallTracer, prog *run.Progress, jobs int) *Run {
+// wall-clock trace, progress tracker, per-run jobs width, and spec key are
+// attached here, under the lock, so no published run is ever mutated
+// outside it.
+func (g *registry) add(req Request, spec string, now time.Time, trace *obs.WallTracer, prog *run.Progress, jobs int) *Run {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.next++
+	id := fmt.Sprintf("r%06d", g.next)
+	if g.instance != "" {
+		id = g.instance + "-" + id
+	}
 	r := &Run{
-		ID:        fmt.Sprintf("r%06d", g.next),
+		ID:        id,
 		Request:   req,
 		State:     StateQueued,
 		Submitted: now,
 		trace:     trace,
 		progress:  prog,
 		jobs:      jobs,
+		spec:      spec,
 	}
 	g.runs[r.ID] = r
 	return r

@@ -56,6 +56,21 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ for live
 	// wall-clock profiling of the daemon itself.
 	EnablePprof bool
+	// InstanceID, when set, prefixes every run id ("b0-r000001") so ids
+	// stay globally unique across a sharded fleet and a router can route
+	// GETs by id prefix. Empty keeps the historical single-daemon format.
+	InstanceID string
+	// DisableCache turns the content-addressed result cache and the
+	// singleflight submission dedup off: every submission executes from
+	// cold. The always-recompute baseline for cache A/B measurements.
+	DisableCache bool
+	// DisableCheckpoints turns the daemon-wide checkpoint/branch cache off
+	// as well, so repeated submissions re-simulate every machine state —
+	// the fully cold baseline (combine with DisableCache for A/B timing).
+	DisableCheckpoints bool
+	// CacheBudget bounds the result cache's artifact bytes before LRU
+	// eviction; 0 selects DefaultCacheBudget.
+	CacheBudget uint64
 	// Logger receives structured request and lifecycle logs; nil discards.
 	Logger *slog.Logger
 }
@@ -98,6 +113,9 @@ type Server struct {
 	// submissions of the same experiment branch from cached machine state
 	// instead of re-simulating, across requests and workers.
 	checkpoints *run.CheckpointCache
+	// memo is the content-addressed result cache plus the singleflight
+	// index of in-flight specs (see cache.go).
+	memo *memoCache
 
 	draining atomic.Bool
 	workers  chan struct{} // closed when the worker pool has drained
@@ -111,6 +129,11 @@ type Server struct {
 	runNS         obs.LiveHistogram // wall-clock run durations
 	queueWait     obs.LiveHistogram // wall-clock submit -> worker pickup
 
+	cacheHits    obs.LiveCounter // submissions completed from the result cache
+	cacheMisses  obs.LiveCounter // submissions queued for cold execution
+	cacheDedup   obs.LiveCounter // submissions attached to an in-flight leader
+	cacheEvicted obs.LiveCounter // results evicted by the byte budget
+
 	httpRequests obs.LiveCounter
 	httpErrors   obs.LiveCounter
 	httpPanics   obs.LiveCounter
@@ -123,15 +146,18 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:         cfg,
-		log:         cfg.Logger,
-		reg:         newRegistry(cfg.RetainRuns),
-		queue:       make(chan string, cfg.QueueDepth),
-		agg:         run.NewCollector(),
-		live:        obs.New(),
-		checkpoints: run.NewCheckpointCache(0),
-		workers:     make(chan struct{}),
-		mux:         http.NewServeMux(),
+		cfg:     cfg,
+		log:     cfg.Logger,
+		reg:     newRegistry(cfg.RetainRuns, cfg.InstanceID),
+		queue:   make(chan string, cfg.QueueDepth),
+		agg:     run.NewCollector(),
+		live:    obs.New(),
+		memo:    newMemoCache(!cfg.DisableCache, cfg.CacheBudget),
+		workers: make(chan struct{}),
+		mux:     http.NewServeMux(),
+	}
+	if !cfg.DisableCheckpoints {
+		s.checkpoints = run.NewCheckpointCache(0)
 	}
 
 	// Every live-registry registration reads an atomic or takes the
@@ -147,6 +173,18 @@ func New(cfg Config) *Server {
 	s.live.Gauge("serve.queue_capacity", func() int64 { return int64(cap(s.queue)) })
 	s.live.LiveHistogram("serve.run_wall", &s.runNS)
 	s.live.LiveHistogram("serve.queue_wait", &s.queueWait)
+	s.live.Counter("serve.cache_hits", s.cacheHits.Load)
+	s.live.Counter("serve.cache_misses", s.cacheMisses.Load)
+	s.live.Counter("serve.cache_dedup", s.cacheDedup.Load)
+	s.live.Counter("serve.cache_evicted", s.cacheEvicted.Load)
+	s.live.Gauge("serve.cache_entries", func() int64 {
+		n, _ := s.memo.stats()
+		return int64(n)
+	})
+	s.live.Gauge("serve.cache_bytes", func() int64 {
+		_, b := s.memo.stats()
+		return int64(b)
+	})
 	s.live.Counter("serve.http_requests", s.httpRequests.Load)
 	s.live.Counter("serve.http_errors", s.httpErrors.Load)
 	s.live.Counter("serve.http_panics", s.httpPanics.Load)
@@ -253,19 +291,23 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 }
 
 // finish moves a run to a terminal state under the registry lock, stamps
-// the terminal transition into the run's event log, and applies the
-// retention cap: terminal runs beyond RetainRuns are evicted oldest
-// first, counted in serve.runs_evicted.
+// the terminal transition into the run's event log, retires the run's
+// singleflight registration, and applies the retention cap: terminal runs
+// beyond RetainRuns are evicted oldest first, counted in
+// serve.runs_evicted.
 func (s *Server) finish(id string, st State, errMsg string, elapsed time.Duration) {
 	now := time.Now()
 	var trace *obs.WallTracer
+	var spec string
 	s.reg.update(id, func(r *Run) {
 		r.State = st
 		r.Error = errMsg
 		r.Finished = &now
 		r.ElapsedMS = elapsed.Milliseconds()
 		trace = r.trace
+		spec = r.spec
 	})
+	s.memo.release(spec, id)
 	var attrs map[string]string
 	if errMsg != "" {
 		attrs = map[string]string{"error": errMsg}
@@ -314,6 +356,7 @@ func (s *Server) execute(id string) {
 	var req Request
 	var trace *obs.WallTracer
 	var prog *run.Progress
+	var spec string
 	now := time.Now()
 	var queued time.Time
 	s.reg.update(id, func(r *Run) {
@@ -323,6 +366,7 @@ func (s *Server) execute(id string) {
 		queued = r.Submitted
 		trace = r.trace
 		prog = r.progress
+		spec = r.spec
 	})
 	qw := now.Sub(queued)
 	s.queueWait.Observe(wallDuration(qw))
@@ -379,6 +423,12 @@ func (s *Server) execute(id string) {
 			r.metrics = res.snap
 			r.groups = res.groups
 		})
+		// Memoize before finish releases the singleflight registration, so
+		// there is no window where a duplicate spec neither attaches to
+		// this run nor finds its result cached.
+		if evicted := s.memo.store(spec, res.out, res.snap, res.groups); evicted > 0 {
+			s.cacheEvicted.Add(uint64(evicted))
+		}
 		trace.SpanArg(obs.TIDWallLifecycle, "serve", "artifact_write",
 			wstart, time.Since(wstart), int64(len(res.out)))
 		s.runsCompleted.Inc()
@@ -403,11 +453,17 @@ func (s *Server) execute(id string) {
 // --- handlers ---
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := map[string]string{"status": "ok"}
+	if s.cfg.InstanceID != "" {
+		// The fleet router learns each shard's run-id prefix from here.
+		body["instance"] = s.cfg.InstanceID
+	}
 	if s.draining.Load() {
-		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		body["status"] = "draining"
+		s.writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, body)
 }
 
 // backendSlices maps each Active-Page backend name to the machine
@@ -466,19 +522,45 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusServiceUnavailable, "daemon is shutting down")
 		return
 	}
+
+	// The memo lock brackets the cached / in-flight / cold decision and,
+	// for the cold case, the enqueue itself — so a spec is never queued
+	// twice by racing duplicates. Both lookups and the enqueue are
+	// non-blocking, so the critical section is microseconds.
+	spec := SpecKey(req)
+	s.memo.mu.Lock()
+	if id, ok := s.memo.inflight[spec]; ok {
+		if view, vok := s.reg.get(id); vok {
+			s.memo.mu.Unlock()
+			s.cacheDedup.Inc()
+			s.log.Info("run deduplicated", "id", id, "request", req.String())
+			w.Header().Set(CacheResultHeader, "dedup")
+			w.Header().Set("Location", "/api/v1/runs/"+id)
+			s.writeJSON(w, http.StatusAccepted, view)
+			return
+		}
+	}
+	if res := s.memo.lookupLocked(spec); res != nil {
+		s.memo.mu.Unlock()
+		s.completeFromCache(w, req, spec, res)
+		return
+	}
 	now := time.Now()
 	// The run's wall-clock trace starts at submission (epoch zero), so the
 	// queue-wait span renders from the origin of the run's timeline.
 	trace := obs.NewWallTracer(now, 0)
-	rn := s.reg.add(req, now, trace, newRunProgress(trace), s.cfg.JobsPerRun)
+	rn := s.reg.add(req, spec, now, trace, newRunProgress(trace), s.cfg.JobsPerRun)
 	trace.SetProcess(1, rn.ID+" (wall clock)")
 	trace.Log(now, "submitted", map[string]string{"request": req.String()})
 	select {
 	case s.queue <- rn.ID:
+		s.memo.setInflightLocked(spec, rn.ID)
+		s.memo.mu.Unlock()
 	default:
 		// Load shed: the queue is full. The slot in the registry is
 		// reclaimed so a rejected submission leaves no trace but the
 		// counter.
+		s.memo.mu.Unlock()
 		s.reg.remove(rn.ID)
 		s.runsRejected.Inc()
 		s.writeError(w, http.StatusServiceUnavailable,
@@ -486,10 +568,53 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.runsSubmitted.Inc()
+	s.cacheMisses.Inc()
 	s.log.Info("run submitted", "id", rn.ID, "request", req.String())
+	w.Header().Set(CacheResultHeader, "miss")
 	w.Header().Set("Location", "/api/v1/runs/"+rn.ID)
 	// Re-fetch under the registry lock: a worker may already be mutating
 	// the run, and view copies must never race it.
+	view, _ := s.reg.get(rn.ID)
+	s.writeJSON(w, http.StatusAccepted, view)
+}
+
+// completeFromCache answers a submission whose spec is already memoized:
+// the run record is created, started, and finished inline with the cached
+// artifacts attached, so the submit response already carries the terminal
+// state. The lifecycle trace gets the same span taxonomy as an executed
+// run — a zero queue_wait and a near-zero execute span — so cached runs
+// are first-class citizens of the §13 tooling, just visibly free.
+func (s *Server) completeFromCache(w http.ResponseWriter, req Request, spec string, res *cachedRun) {
+	now := time.Now()
+	// A cached run's whole lifecycle is a handful of spans and log lines;
+	// the default ring (8Ki events, ~1 MiB zeroed per tracer) would
+	// dominate the hit path's CPU and heap at fleet request rates.
+	trace := obs.NewWallTracer(now, cachedRunTraceEvents)
+	rn := s.reg.add(req, spec, now, trace, newRunProgress(trace), s.cfg.JobsPerRun)
+	trace.SetProcess(1, rn.ID+" (wall clock)")
+	trace.Log(now, "submitted", map[string]string{"request": req.String()})
+	s.runsSubmitted.Inc()
+	s.cacheHits.Inc()
+	started := time.Now()
+	s.reg.update(rn.ID, func(r *Run) {
+		r.State = StateRunning
+		r.Started = &started
+		r.Cached = true
+		r.output = res.output
+		r.metrics = res.metrics
+		r.groups = res.groups
+	})
+	elapsed := time.Since(now)
+	trace.Span(obs.TIDWallLifecycle, "serve", "queue_wait", now, 0)
+	trace.Span(obs.TIDWallLifecycle, "serve", "execute (cached)", started, elapsed)
+	trace.Log(started, "cache hit", map[string]string{"spec": spec})
+	s.runNS.Observe(wallDuration(elapsed))
+	s.runsCompleted.Inc()
+	s.finish(rn.ID, StateDone, "", elapsed)
+	s.log.Info("run served from cache", "id", rn.ID,
+		"request", req.String(), "elapsed_us", elapsed.Microseconds())
+	w.Header().Set(CacheResultHeader, "hit")
+	w.Header().Set("Location", "/api/v1/runs/"+rn.ID)
 	view, _ := s.reg.get(rn.ID)
 	s.writeJSON(w, http.StatusAccepted, view)
 }
@@ -543,8 +668,7 @@ func (s *Server) handleOutput(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.Write(rn.output)
+	writeArtifact(w, r, "text/plain; charset=utf-8", rn.output)
 }
 
 func (s *Server) handleRunMetrics(w http.ResponseWriter, r *http.Request) {
@@ -557,9 +681,7 @@ func (s *Server) handleRunMetrics(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(j)
-	w.Write([]byte("\n"))
+	writeArtifact(w, r, "application/json", append(j, '\n'))
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -573,8 +695,9 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		// whole-run attribution, mirroring apreport on a single file.
 		groups = map[string]obs.Snapshot{rn.ID: rn.metrics}
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	report.FromGroups(groups).WriteTo(w)
+	var buf bytes.Buffer
+	report.FromGroups(groups).WriteTo(&buf)
+	writeArtifact(w, r, "text/plain; charset=utf-8", buf.Bytes())
 }
 
 // handleProgress serves a live (or final) view of a run's sweep

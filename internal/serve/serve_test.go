@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -185,12 +186,17 @@ func TestSubmitValidation(t *testing.T) {
 func TestQueueFullShedsLoad(t *testing.T) {
 	s, ts := newTestServer(t, Config{QueueDepth: 2}, false)
 
-	for i := 0; i < 2; i++ {
-		if resp, _ := submit(t, ts, `{"experiment":"array","quick":true}`); resp.StatusCode != http.StatusAccepted {
+	// Distinct specs (page sizes), so the singleflight dedup does not
+	// collapse them before they can occupy queue slots.
+	for i, body := range []string{
+		`{"experiment":"array","quick":true,"page_bytes":8192}`,
+		`{"experiment":"array","quick":true,"page_bytes":16384}`,
+	} {
+		if resp, _ := submit(t, ts, body); resp.StatusCode != http.StatusAccepted {
 			t.Fatalf("submit %d: HTTP %d, want 202", i, resp.StatusCode)
 		}
 	}
-	resp, _ := submit(t, ts, `{"experiment":"array","quick":true}`)
+	resp, _ := submit(t, ts, `{"experiment":"array","quick":true,"page_bytes":32768}`)
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("overflow submit: HTTP %d, want 503", resp.StatusCode)
 	}
@@ -215,7 +221,10 @@ func TestConcurrentScrape(t *testing.T) {
 
 	var ids []string
 	for i := 0; i < 4; i++ {
-		resp, rn := submit(t, ts, `{"experiment":"array","quick":true}`)
+		// Distinct page sizes keep all four submissions executing (a
+		// duplicate spec would dedup or hit the result cache).
+		body := fmt.Sprintf(`{"experiment":"array","quick":true,"page_bytes":%d}`, 8192<<i)
+		resp, rn := submit(t, ts, body)
 		if resp.StatusCode != http.StatusAccepted {
 			t.Fatalf("submit: HTTP %d", resp.StatusCode)
 		}
@@ -292,7 +301,8 @@ func TestShutdownFailsQueuedRuns(t *testing.T) {
 	s, ts := newTestServer(t, Config{QueueDepth: 4}, false)
 	var ids []string
 	for i := 0; i < 3; i++ {
-		_, rn := submit(t, ts, `{"experiment":"array","quick":true}`)
+		body := fmt.Sprintf(`{"experiment":"array","quick":true,"page_bytes":%d}`, 8192<<i)
+		_, rn := submit(t, ts, body)
 		ids = append(ids, rn.ID)
 	}
 
