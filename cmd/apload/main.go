@@ -11,6 +11,13 @@
 //
 //	apload -addr http://127.0.0.1:8080 -n 50 -c 8 -experiment array -quick
 //	apload -addr http://127.0.0.1:8090 -n 500 -c 16 -zipf 1.1 -specs 12
+//	apload -addr http://127.0.0.1:8090 -fleet
+//
+// -fleet skips the load run and instead prints the router's live fleet
+// status (/api/v1/fleet): per-shard health, queue and worker saturation,
+// cache hit rate, and probe age. Failed submissions print the response's
+// X-AP-Request-Id so the failure can be joined to the router's and
+// shard's access logs.
 //
 // By default every submission is the same spec. -zipf S instead draws each
 // submission from a population of -specs distinct run specs (the base
@@ -45,6 +52,68 @@ func main() {
 		fmt.Fprintln(os.Stderr, "apload:", err)
 		os.Exit(1)
 	}
+}
+
+// requestIDHeader is the fleet-wide request correlation header the
+// daemons stamp on every response (internal/httpmw.RequestIDHeader).
+const requestIDHeader = "X-AP-Request-Id"
+
+// printFleet renders the router's live fleet status as a one-line-per-
+// shard table: health, saturation, cache hit rate, and probe age.
+func printFleet(addr string) error {
+	resp, err := http.Get(addr + "/api/v1/fleet")
+	if err != nil {
+		return err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet status: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	var status struct {
+		Healthy  int `json:"healthy"`
+		Total    int `json:"total"`
+		Backends []struct {
+			Backend       string  `json:"backend"`
+			Instance      string  `json:"instance"`
+			Healthy       bool    `json:"healthy"`
+			QueueDepth    int     `json:"queue_depth"`
+			QueueCapacity int     `json:"queue_capacity"`
+			WorkersBusy   int     `json:"workers_busy"`
+			WorkersTotal  int     `json:"workers_total"`
+			CacheHitRate  float64 `json:"cache_hit_rate"`
+			LastProbeMS   int64   `json:"last_probe_ms"`
+		} `json:"backends"`
+	}
+	if err := json.Unmarshal(data, &status); err != nil {
+		return fmt.Errorf("fleet status: %w", err)
+	}
+	fmt.Printf("apload: fleet %d/%d backends healthy\n", status.Healthy, status.Total)
+	for _, b := range status.Backends {
+		health := "healthy"
+		if !b.Healthy {
+			health = "DOWN"
+		}
+		hit := "n/a"
+		if b.CacheHitRate >= 0 {
+			hit = fmt.Sprintf("%.1f%%", 100*b.CacheHitRate)
+		}
+		probe := "never"
+		if b.LastProbeMS >= 0 {
+			probe = fmt.Sprintf("%dms ago", b.LastProbeMS)
+		}
+		instance := b.Instance
+		if instance == "" {
+			instance = "-"
+		}
+		fmt.Printf("apload:   %-6s %-28s %-8s queue %d/%d  workers %d/%d  cache-hit %-6s probed %s\n",
+			instance, b.Backend, health,
+			b.QueueDepth, b.QueueCapacity, b.WorkersBusy, b.WorkersTotal, hit, probe)
+	}
+	if status.Healthy == 0 {
+		return fmt.Errorf("no healthy backends")
+	}
+	return nil
 }
 
 // runResult is one submission's end-to-end outcome. queueWait and execute
@@ -146,8 +215,13 @@ func realMain() error {
 		seed       = flag.Int64("seed", 1, "RNG seed for the -zipf request sequence")
 		poll       = flag.Duration("poll", 50*time.Millisecond, "status poll interval")
 		timeout    = flag.Duration("timeout", 5*time.Minute, "per-run completion deadline")
+		fleet      = flag.Bool("fleet", false, "print the router's fleet status (/api/v1/fleet) and exit")
 	)
 	flag.Parse()
+
+	if *fleet {
+		return printFleet(*addr)
+	}
 
 	// The request population: one spec in the classic mode, a Zipf-ranked
 	// set under -zipf.
@@ -220,7 +294,10 @@ func realMain() error {
 					backoff *= 2
 				}
 			default:
-				return runView{}, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+				// The request id joins this failure to the router's and
+				// shard's access-log lines for the same interaction.
+				return runView{}, fmt.Errorf("submit: HTTP %d (request_id=%s): %s",
+					resp.StatusCode, resp.Header.Get(requestIDHeader), strings.TrimSpace(string(data)))
 			}
 		}
 	}

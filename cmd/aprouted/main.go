@@ -16,15 +16,33 @@
 // API (client-compatible with a single apserved):
 //
 //	GET  /healthz                   503 when no backend is healthy
-//	GET  /metrics                   ap_router_* counters: requests, retries,
-//	                                shed, cache hits/misses/dedup seen on
-//	                                routed submissions, healthy-backend gauge
+//	GET  /metrics                   ap_router_* counters plus the federated
+//	                                fleet view: every shard's snapshot merged
+//	                                under ap_fleet_* (counters sum, gauges
+//	                                max) and per-shard slices under
+//	                                ap_shard_<instance>_*
+//	GET  /api/v1/metricsz           the same federation as JSON: router,
+//	                                fleet merge, and per-shard snapshots
+//	                                from one scrape pass
+//	GET  /api/v1/fleet              live fleet status: per-shard health,
+//	                                queue/worker saturation, cache hit rate,
+//	                                probe age (apload -fleet renders it)
 //	POST /api/v1/runs               routed by spec hash, retried on failover
 //	GET  /api/v1/runs               fleet-wide listing merged from all shards
+//	GET  /api/v1/runs/{id}/trace    the shard's lifecycle trace with this
+//	                                router's routing spans spliced in as an
+//	                                "aprouted (router)" process
 //	GET  /api/v1/runs/{id}[/...]    proxied to the shard owning the id prefix
 //
-// The router is stateless: all run state lives in the shards, so any
-// number of router replicas over the same backend list route identically.
+// Every inbound request is stamped with an X-AP-Request-Id (generated
+// unless the client provides one) that the router forwards to the shard,
+// so one id joins the router's and shard's access logs, the run record,
+// and the routing trace for a single client interaction.
+//
+// The router keeps no run state — all of it lives in the shards — so any
+// number of router replicas over the same backend list route identically;
+// only the routing traces of recently routed runs are retained in memory
+// for the trace splice.
 package main
 
 import (

@@ -8,10 +8,14 @@
 //
 // API:
 //
-//	GET  /healthz                   liveness (503 while draining)
+//	GET  /healthz                   liveness (503 while draining) plus queue
+//	                                depth and busy-worker counts, so a fleet
+//	                                router's probe doubles as a load report
 //	GET  /metrics                   Prometheus text exposition: live service
 //	                                metrics, the aggregate of every completed
 //	                                run under run_*, and Go process metrics
+//	GET  /api/v1/metricsz           the raw metrics snapshot as JSON, for
+//	                                exact-merge federation by aprouted
 //	POST /api/v1/runs               submit {"experiment":"array","quick":true};
 //	                                202 + run JSON, 503 when the queue is full
 //	GET  /api/v1/runs               list all runs with per-state counts
@@ -39,7 +43,11 @@
 // front can route reads by prefix.
 //
 // Logs are JSON (log/slog) on stderr: one access line per request and one
-// lifecycle line per run transition. SIGINT/SIGTERM shut down gracefully:
+// lifecycle line per run transition. Every request gets an
+// X-AP-Request-Id — the inbound header's value when a router forwarded
+// one, a fresh id otherwise — echoed on the response, written in the
+// access line, and recorded on the run it submitted, so one id joins a
+// client interaction across the whole fleet. SIGINT/SIGTERM shut down gracefully:
 // the listener closes, in-flight runs finish (bounded by -runtimeout), and
 // still-queued runs are marked failed.
 package main

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"activepages/internal/httpmw"
 	"activepages/internal/obs"
 	"activepages/internal/serve"
 )
@@ -28,6 +29,12 @@ type Config struct {
 	HealthInterval time.Duration
 	// Client issues all proxied requests; nil builds one with sane timeouts.
 	Client *http.Client
+	// ProbeClient issues health probes; nil builds one with a short timeout.
+	// Probes get their own client because the proxy client's timeout is
+	// sized for long runs — a dead shard must fail a probe in seconds, not
+	// minutes — and because building a client per probe (the old behavior)
+	// leaked a fresh transport's connection pool every sweep.
+	ProbeClient *http.Client
 	// Logger receives structured routing logs; nil discards.
 	Logger *slog.Logger
 }
@@ -54,18 +61,33 @@ func (c Config) withDefaults() Config {
 			},
 		}
 	}
+	if c.ProbeClient == nil {
+		c.ProbeClient = &http.Client{Timeout: 2 * time.Second}
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
 	}
 	return c
 }
 
-// backendState is one shard as the router sees it: reachable or not, and
-// the run-id prefix it stamps on its runs (learned from /healthz), which
-// routes GETs by id back to the shard that owns the run.
+// healthView is the load slice of a shard's extended /healthz report:
+// queue and worker saturation at probe time, surfaced on /api/v1/fleet.
+type healthView struct {
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	WorkersBusy   int `json:"workers_busy"`
+	WorkersTotal  int `json:"workers_total"`
+}
+
+// backendState is one shard as the router sees it: reachable or not, the
+// run-id prefix it stamps on its runs (learned from /healthz), which
+// routes GETs by id back to the shard that owns the run, plus the load
+// reading and timestamp of the last successful probe.
 type backendState struct {
-	healthy  bool
-	instance string
+	healthy   bool
+	instance  string
+	load      healthView
+	lastProbe time.Time
 }
 
 // Router is the stateless fleet front: it consistent-hashes each
@@ -92,6 +114,12 @@ type Router struct {
 	cacheDedup  obs.LiveCounter // backend attached the submission to an in-flight run
 	proxyErrors obs.LiveCounter // proxied reads that failed at the transport
 
+	// mw is the shared HTTP middleware layer (per-route histograms under
+	// "router.http.*", access logs, request-id stamping); traces keeps each
+	// routed submission's wall spans for splicing into the shard's trace.
+	mw     *httpmw.Instrument
+	traces *traceStore
+
 	mux http.Handler
 }
 
@@ -107,6 +135,7 @@ func NewRouter(cfg Config) *Router {
 		client: cfg.Client,
 		state:  make(map[string]*backendState, len(cfg.Backends)),
 		live:   obs.New(),
+		traces: newTraceStore(routerTraceRuns),
 	}
 	for _, b := range cfg.Backends {
 		rt.state[b] = &backendState{}
@@ -132,14 +161,21 @@ func NewRouter(cfg Config) *Router {
 		return n
 	})
 
+	rt.mw = httpmw.NewInstrument(cfg.Logger, rt.live, "router.")
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", rt.handleHealthz)
-	mux.HandleFunc("GET /metrics", rt.handleMetrics)
-	mux.HandleFunc("POST /api/v1/runs", rt.handleSubmit)
-	mux.HandleFunc("GET /api/v1/runs", rt.handleList)
-	mux.HandleFunc("GET /api/v1/runs/{id}", rt.handleProxyGet)
-	mux.HandleFunc("GET /api/v1/runs/{id}/{artifact...}", rt.handleProxyGet)
-	rt.mux = mux
+	rt.mw.Handle(mux, "GET /healthz", rt.handleHealthz)
+	rt.mw.Handle(mux, "GET /metrics", rt.handleMetrics)
+	rt.mw.Handle(mux, "GET /api/v1/metricsz", rt.handleMetricsz)
+	rt.mw.Handle(mux, "GET /api/v1/fleet", rt.handleFleet)
+	rt.mw.Handle(mux, "POST /api/v1/runs", rt.handleSubmit)
+	rt.mw.Handle(mux, "GET /api/v1/runs", rt.handleList)
+	rt.mw.Handle(mux, "GET /api/v1/runs/{id}", rt.handleProxyGet)
+	// The literal trace route wins over the artifact wildcard (most-specific
+	// pattern), so trace reads get the router-span splice while every other
+	// artifact proxies through untouched.
+	rt.mw.Handle(mux, "GET /api/v1/runs/{id}/trace", rt.handleRunTrace)
+	rt.mw.Handle(mux, "GET /api/v1/runs/{id}/{artifact...}", rt.handleProxyGet)
+	rt.mux = rt.mw.Recoverer(mux)
 	return rt
 }
 
@@ -152,13 +188,15 @@ func (rt *Router) Handler() http.Handler { return rt.mux }
 func (rt *Router) ProbeHealth() int {
 	healthy := 0
 	for _, b := range rt.cfg.Backends {
-		ok, instance := rt.probe(b)
+		ok, instance, load := rt.probe(b)
 		rt.mu.Lock()
 		st := rt.state[b]
 		if ok != st.healthy {
 			rt.log.Info("backend health changed", "backend", b, "healthy", ok)
 		}
 		st.healthy = ok
+		st.lastProbe = time.Now()
+		st.load = load
 		if instance != "" {
 			st.instance = instance
 		}
@@ -170,24 +208,26 @@ func (rt *Router) ProbeHealth() int {
 	return healthy
 }
 
-// probe checks one backend. A draining daemon answers /healthz with 503
-// but still names its instance, so the prefix table stays complete even
-// while a shard is leaving the fleet.
-func (rt *Router) probe(backend string) (healthy bool, instance string) {
-	client := &http.Client{Timeout: 2 * time.Second}
-	resp, err := client.Get(backend + "/healthz")
+// probe checks one backend with the dedicated short-timeout probe client
+// (the proxy client's timeout is sized for long runs). A draining daemon
+// answers /healthz with 503 but still names its instance, so the prefix
+// table stays complete even while a shard is leaving the fleet; the load
+// fields of the extended health report ride along for /api/v1/fleet.
+func (rt *Router) probe(backend string) (healthy bool, instance string, load healthView) {
+	resp, err := rt.cfg.ProbeClient.Get(backend + "/healthz")
 	if err != nil {
-		return false, ""
+		return false, "", healthView{}
 	}
 	defer resp.Body.Close()
 	var body struct {
 		Status   string `json:"status"`
 		Instance string `json:"instance"`
+		healthView
 	}
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err != nil {
-		return false, ""
+		return false, "", healthView{}
 	}
-	return resp.StatusCode == http.StatusOK && body.Status == "ok", body.Instance
+	return resp.StatusCode == http.StatusOK && body.Status == "ok", body.Instance, body.healthView
 }
 
 // Start launches the periodic health prober (after one synchronous sweep,
@@ -259,16 +299,18 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", obs.ExpositionContentType)
-	obs.WriteExposition(w, rt.live.Snapshot())
-}
-
 // handleSubmit routes one submission: canonicalize the spec, walk the
 // ring's preference order (healthy shards first), and relay the first
 // conclusive answer. A refused attempt — transport error, or 503 from a
 // draining or queue-full shard — fails over to the next replica and
 // counts one retry; only exhausting the whole list sheds the submission.
+//
+// The whole routing decision is wall-traced: ring lookup and relay land
+// on the router lifecycle track, each replica attempt on the attempts
+// track with a retry instant between failovers. An accepted submission's
+// tracer is retained keyed by the run id the shard allocated, so
+// GET /api/v1/runs/{id}/trace splices the routing hop into the shard's
+// own lifecycle trace.
 func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
@@ -283,16 +325,33 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rt.requests.Inc()
+	rid := httpmw.RequestID(r.Context())
+	submitStart := time.Now()
+	tr := obs.NewWallTracer(submitStart, routerTraceEvents)
+	tr.SetProcess(routerTracePID, "aprouted (router)")
+	tr.Log(submitStart, "submit received", map[string]string{"request_id": rid})
 
 	spec := serve.SpecKey(req)
 	order := rt.healthyFirst(rt.ring.order(spec))
+	tr.Span(obs.TIDRouterLifecycle, "router", "ring_lookup", submitStart, time.Since(submitStart))
 	for attempt, backend := range order {
 		if attempt > 0 {
 			rt.retries.Inc()
+			tr.Instant(obs.TIDRouterAttempts, "router", "retry", time.Now())
 		}
-		resp, err := rt.client.Post(backend+"/api/v1/runs", "application/json", bytes.NewReader(body))
+		attemptStart := time.Now()
+		preq, err := http.NewRequest(http.MethodPost, backend+"/api/v1/runs", bytes.NewReader(body))
 		if err != nil {
-			rt.log.Warn("submit attempt failed", "backend", backend, "err", err.Error())
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		preq.Header.Set("Content-Type", "application/json")
+		preq.Header.Set(httpmw.RequestIDHeader, rid)
+		resp, err := rt.client.Do(preq)
+		if err != nil {
+			tr.Span(obs.TIDRouterAttempts, "router", "attempt "+backend+" (unreachable)",
+				attemptStart, time.Since(attemptStart))
+			rt.log.Warn("submit attempt failed", "backend", backend, "request_id", rid, "err", err.Error())
 			rt.markUnhealthy(backend)
 			continue
 		}
@@ -300,9 +359,12 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			// Draining or queue-full: this shard refuses, the next may not.
 			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
 			resp.Body.Close()
-			rt.log.Info("submit refused, failing over", "backend", backend, "spec", spec[:12])
+			tr.Span(obs.TIDRouterAttempts, "router", "attempt "+backend+" (refused)",
+				attemptStart, time.Since(attemptStart))
+			rt.log.Info("submit refused, failing over", "backend", backend, "request_id", rid, "spec", spec[:12])
 			continue
 		}
+		tr.Span(obs.TIDRouterAttempts, "router", "attempt "+backend, attemptStart, time.Since(attemptStart))
 		switch resp.Header.Get(serve.CacheResultHeader) {
 		case "hit":
 			rt.cacheHits.Inc()
@@ -311,12 +373,35 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		case "dedup":
 			rt.cacheDedup.Inc()
 		}
+		relayStart := time.Now()
+		id := runIDFromLocation(resp.Header.Get("Location"))
 		relay(w, resp)
+		tr.Span(obs.TIDRouterLifecycle, "router", "relay", relayStart, time.Since(relayStart))
+		tr.Span(obs.TIDRouterLifecycle, "router", "submit", submitStart, time.Since(submitStart))
+		if id != "" {
+			// First-writer-wins: a deduped resubmission must not replace the
+			// executing run's routing spans with its own.
+			rt.traces.put(id, tr)
+		}
 		return
 	}
 	rt.shed.Inc()
 	writeJSON(w, http.StatusServiceUnavailable,
 		map[string]string{"error": fmt.Sprintf("no backend accepted the run (%d tried)", len(order))})
+}
+
+// runIDFromLocation extracts the run id a shard allocated from its submit
+// response's Location header ("/api/v1/runs/b0-r000001" -> "b0-r000001").
+func runIDFromLocation(loc string) string {
+	const prefix = "/api/v1/runs/"
+	if !strings.HasPrefix(loc, prefix) {
+		return ""
+	}
+	id := strings.TrimPrefix(loc, prefix)
+	if strings.ContainsRune(id, '/') {
+		return ""
+	}
+	return id
 }
 
 // handleList merges every healthy shard's run listing into one fleet-wide
@@ -412,7 +497,8 @@ func (rt *Router) markUnhealthy(backend string) {
 }
 
 // do re-issues the inbound GET against one backend, forwarding the
-// conditional-request header so ETag revalidation (304) flows end to end.
+// conditional-request header so ETag revalidation (304) flows end to end
+// and the request id so the shard's access log joins the router's.
 func (rt *Router) do(r *http.Request, backend string) (*http.Response, error) {
 	req, err := http.NewRequest(http.MethodGet, backend+r.URL.Path, nil)
 	if err != nil {
@@ -420,6 +506,9 @@ func (rt *Router) do(r *http.Request, backend string) (*http.Response, error) {
 	}
 	if inm := r.Header.Get("If-None-Match"); inm != "" {
 		req.Header.Set("If-None-Match", inm)
+	}
+	if rid := httpmw.RequestID(r.Context()); rid != "" {
+		req.Header.Set(httpmw.RequestIDHeader, rid)
 	}
 	return rt.client.Do(req)
 }
@@ -436,11 +525,20 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, backend string) 
 	relay(w, resp)
 }
 
+// ridHeaderKey is httpmw.RequestIDHeader in the canonical form http.Header
+// iteration yields, for the relay skip below.
+var ridHeaderKey = http.CanonicalHeaderKey(httpmw.RequestIDHeader)
+
 // relay copies a backend response — status, headers, body — to the client
-// and closes it.
+// and closes it. The shard's request-id echo is skipped: the router's own
+// middleware already stamped the same id on the response, and Add would
+// duplicate the header.
 func relay(w http.ResponseWriter, resp *http.Response) {
 	defer resp.Body.Close()
 	for k, vs := range resp.Header {
+		if k == ridHeaderKey {
+			continue
+		}
 		for _, v := range vs {
 			w.Header().Add(k, v)
 		}

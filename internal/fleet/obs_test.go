@@ -1,0 +1,339 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+
+	"activepages/internal/httpmw"
+	"activepages/internal/obs"
+	"activepages/internal/serve"
+)
+
+// getJSON fetches a router URL and decodes its JSON body into v.
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d: %s", url, resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatalf("GET %s: %v\n%s", url, err, data)
+	}
+}
+
+// TestFederatedMetricsExactMerge pins the federation invariant: the
+// "fleet" snapshot the router serves is the exact obs.Snapshot merge of
+// the per-shard snapshots in the same response — counters and histogram
+// buckets sum, "_max" gauges take the maximum — with the merge finally
+// crossing process boundaries.
+func TestFederatedMetricsExactMerge(t *testing.T) {
+	_, _, ts := startFleet(t, 2)
+
+	// Two distinct specs (they may land on either shard) plus a repeat of
+	// the first, so the fleet has completed runs, a cache hit, and
+	// populated histograms to merge.
+	for _, spec := range []string{
+		`{"experiment":"array","quick":true}`,
+		`{"experiment":"array","quick":true,"page_bytes":16384}`,
+	} {
+		resp, rn := submitVia(t, ts, spec)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: HTTP %d", resp.StatusCode)
+		}
+		waitDoneVia(t, ts, rn.ID)
+	}
+	submitVia(t, ts, `{"experiment":"array","quick":true}`) // cache hit
+
+	var fed struct {
+		Router obs.Snapshot            `json:"router"`
+		Fleet  obs.Snapshot            `json:"fleet"`
+		Shards map[string]obs.Snapshot `json:"shards"`
+	}
+	getJSON(t, ts.URL+"/api/v1/metricsz", &fed)
+	if len(fed.Shards) != 2 {
+		t.Fatalf("shards = %v, want 2 entries", len(fed.Shards))
+	}
+
+	expected := obs.Snapshot{}
+	for _, snap := range fed.Shards {
+		expected.Merge(snap)
+	}
+	if !reflect.DeepEqual(expected, fed.Fleet) {
+		for k, v := range expected {
+			if fed.Fleet[k] != v {
+				t.Errorf("fleet[%q] = %d, exact merge gives %d", k, fed.Fleet[k], v)
+			}
+		}
+		for k := range fed.Fleet {
+			if _, ok := expected[k]; !ok {
+				t.Errorf("fleet has %q, merge of shards does not", k)
+			}
+		}
+	}
+
+	// Spot checks on the merge rules: the counters sum, the capacity gauge
+	// max-merges (both shards report 16, so the fleet value is 16, not 32).
+	var hits, subs int64
+	for _, snap := range fed.Shards {
+		hits += snap["serve.cache_hits"]
+		subs += snap["serve.runs_submitted"]
+	}
+	if hits != 1 || fed.Fleet["serve.cache_hits"] != hits {
+		t.Errorf("fleet cache_hits = %d (shards sum %d), want 1", fed.Fleet["serve.cache_hits"], hits)
+	}
+	if subs != 3 || fed.Fleet["serve.runs_submitted"] != subs {
+		t.Errorf("fleet runs_submitted = %d (shards sum %d), want 3", fed.Fleet["serve.runs_submitted"], subs)
+	}
+	if got := fed.Fleet["serve.queue_capacity_max"]; got != 16 {
+		t.Errorf("fleet queue_capacity_max = %d, want 16 (max-merge, not sum)", got)
+	}
+	if fed.Router["router.requests"] != 3 {
+		t.Errorf("router.requests = %d, want 3", fed.Router["router.requests"])
+	}
+
+	// The text exposition renders the same federation: the fleet aggregate
+	// under ap_fleet_* and per-shard slices under ap_shard_<instance>_*,
+	// next to the router's own middleware metrics.
+	metrics := routerMetrics(t, ts)
+	for _, want := range []string{
+		"ap_fleet_serve_cache_hits 1",
+		"ap_fleet_serve_runs_submitted 3",
+		"ap_shard_b0_serve_runs_submitted",
+		"ap_shard_b1_serve_runs_submitted",
+		"ap_router_http_requests",
+		"ap_router_http_post_api_v1_runs",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("router /metrics missing %q", want)
+		}
+	}
+}
+
+// TestFleetTraceSplice checks the end-to-end trace: fetching a routed
+// run's trace through the router yields the shard's lifecycle trace with
+// the router's routing spans spliced in as their own process, for
+// executed and cached runs alike. Fetching through the shard directly
+// (or a run the router never routed) stays un-spliced.
+func TestFleetTraceSplice(t *testing.T) {
+	_, backends, ts := startFleet(t, 2)
+
+	resp, rn := submitVia(t, ts, `{"experiment":"array","quick":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	waitDoneVia(t, ts, rn.ID)
+
+	fetchTrace := func(id string) string {
+		t.Helper()
+		tr, err := http.Get(ts.URL + "/api/v1/runs/" + id + "/trace")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(tr.Body)
+		tr.Body.Close()
+		if tr.StatusCode != http.StatusOK {
+			t.Fatalf("trace %s: HTTP %d: %s", id, tr.StatusCode, data)
+		}
+		if !json.Valid(data) {
+			t.Fatalf("trace %s is not valid JSON:\n%s", id, data)
+		}
+		return string(data)
+	}
+
+	doc := fetchTrace(rn.ID)
+	for _, want := range []string{
+		"aprouted (router)", "submit (router)", "attempts (router)",
+		`"attempt `, `"relay"`, `"ring_lookup"`,
+		`"execute"`, `"queue_wait"`, rn.ID + " (wall clock)",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("spliced trace missing %q", want)
+		}
+	}
+
+	// A cached repeat gets its own run id and its own routing spans, over
+	// the shard's cached-run lifecycle.
+	resp2, rn2 := submitVia(t, ts, `{"experiment":"array","quick":true}`)
+	if resp2.Header.Get(serve.CacheResultHeader) != "hit" {
+		t.Fatalf("repeat = %q, want hit", resp2.Header.Get(serve.CacheResultHeader))
+	}
+	doc2 := fetchTrace(rn2.ID)
+	for _, want := range []string{"aprouted (router)", "execute (cached)"} {
+		if !strings.Contains(doc2, want) {
+			t.Errorf("cached run's spliced trace missing %q", want)
+		}
+	}
+
+	// Straight from the owning shard, the trace has no router process.
+	for _, lb := range backends {
+		resp, err := http.Get(lb.URL() + "/api/v1/runs/" + rn.ID + "/trace")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			continue // not the owner
+		}
+		if strings.Contains(string(data), "aprouted (router)") {
+			t.Errorf("shard's own trace contains router spans")
+		}
+	}
+}
+
+// TestFleetStatusEndpoint checks /api/v1/fleet reports per-shard health,
+// instance, saturation from the probed extended healthz, cache hit rate,
+// and probe age.
+func TestFleetStatusEndpoint(t *testing.T) {
+	_, _, ts := startFleet(t, 2)
+	resp, rn := submitVia(t, ts, `{"experiment":"array","quick":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	waitDoneVia(t, ts, rn.ID)
+	submitVia(t, ts, `{"experiment":"array","quick":true}`) // cache hit on the owner
+
+	var status struct {
+		Healthy  int `json:"healthy"`
+		Total    int `json:"total"`
+		Backends []struct {
+			Backend       string  `json:"backend"`
+			Instance      string  `json:"instance"`
+			Healthy       bool    `json:"healthy"`
+			QueueDepth    int     `json:"queue_depth"`
+			QueueCapacity int     `json:"queue_capacity"`
+			WorkersBusy   int     `json:"workers_busy"`
+			WorkersTotal  int     `json:"workers_total"`
+			CacheHitRate  float64 `json:"cache_hit_rate"`
+			LastProbeMS   int64   `json:"last_probe_ms"`
+		} `json:"backends"`
+	}
+	getJSON(t, ts.URL+"/api/v1/fleet", &status)
+	if status.Healthy != 2 || status.Total != 2 || len(status.Backends) != 2 {
+		t.Fatalf("fleet status: %+v", status)
+	}
+	owner := instancePrefix(rn.ID)
+	seenOwner := false
+	for _, b := range status.Backends {
+		if !b.Healthy || b.Instance == "" {
+			t.Errorf("backend %s: healthy=%v instance=%q", b.Backend, b.Healthy, b.Instance)
+		}
+		if b.WorkersTotal != 1 || b.QueueCapacity != 16 {
+			t.Errorf("backend %s: workers_total=%d queue_capacity=%d, want 1/16 (from extended healthz)",
+				b.Backend, b.WorkersTotal, b.QueueCapacity)
+		}
+		if b.LastProbeMS < 0 {
+			t.Errorf("backend %s: last_probe_ms=%d, want >= 0 after the startup probe", b.Backend, b.LastProbeMS)
+		}
+		if b.Instance == owner {
+			seenOwner = true
+			if b.CacheHitRate != 0.5 {
+				t.Errorf("owner cache_hit_rate = %v, want 0.5 (1 hit, 1 miss)", b.CacheHitRate)
+			}
+		}
+	}
+	if !seenOwner {
+		t.Errorf("no fleet row for owning instance %q", owner)
+	}
+}
+
+// TestRouterRequestIDStamped checks fleet-wide request correlation: the
+// router stamps one X-AP-Request-Id per inbound request (client-provided
+// or generated, never duplicated by the shard's echo), forwards it to the
+// shard, and the shard records it in the run.
+func TestRouterRequestIDStamped(t *testing.T) {
+	_, _, ts := startFleet(t, 2)
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/api/v1/runs",
+		strings.NewReader(`{"experiment":"array","quick":true}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(httpmw.RequestIDHeader, "feedfacecafebeef")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Values(httpmw.RequestIDHeader); len(got) != 1 || got[0] != "feedfacecafebeef" {
+		t.Fatalf("response request id = %v, want exactly one echo of the inbound id", got)
+	}
+	var rn serve.Run
+	if err := json.Unmarshal(data, &rn); err != nil {
+		t.Fatal(err)
+	}
+	if rn.RequestID != "feedfacecafebeef" {
+		t.Errorf("run request_id = %q, want the router-forwarded id", rn.RequestID)
+	}
+	waitDoneVia(t, ts, rn.ID)
+
+	// Without a client-provided id the router generates one; proxied reads
+	// carry it too.
+	resp2, err := http.Get(ts.URL + "/api/v1/runs/" + rn.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	ids := resp2.Header.Values(httpmw.RequestIDHeader)
+	if len(ids) != 1 || !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(ids[0]) {
+		t.Errorf("proxied read request id = %v, want one generated 16-hex id", ids)
+	}
+}
+
+// TestRouterRequestIDOnShed checks a shed submission (dead fleet) still
+// answers with a request id, so a failed submit is traceable in logs.
+func TestRouterRequestIDOnShed(t *testing.T) {
+	_, backends, ts := startFleet(t, 1)
+	backends[0].Kill()
+	resp, err := http.Post(ts.URL+"/api/v1/runs", "application/json",
+		strings.NewReader(`{"experiment":"array","quick":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit to dead fleet: HTTP %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get(httpmw.RequestIDHeader) == "" {
+		t.Error("shed submission has no request id")
+	}
+}
+
+// TestRouterPanicRecovered checks the shared recoverer fronts the router
+// mux: a panicking route answers 500 and the router keeps serving.
+func TestRouterPanicRecovered(t *testing.T) {
+	rt := NewRouter(Config{Backends: []string{"http://127.0.0.1:1"}})
+	mux := http.NewServeMux()
+	rt.mw.Handle(mux, "GET /boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+	ts := httptest.NewServer(rt.mw.Recoverer(mux))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panic route: HTTP %d, want 500", resp.StatusCode)
+	}
+	if rt.mw.Panics() != 1 {
+		t.Errorf("panics = %d, want 1", rt.mw.Panics())
+	}
+}

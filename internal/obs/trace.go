@@ -29,6 +29,21 @@ const (
 	TIDPageBase int32 = 100
 )
 
+// Fleet-router track identifiers. Like the wall tracks (TIDWall*), these
+// carry wall-clock time; they live on the router's process in a spliced
+// end-to-end trace, below the shard's wall band, and their names carry a
+// "(router)" marker so a viewer can tell the routing hop from the shard's
+// own lifecycle.
+const (
+	// TIDRouterLifecycle is the router's submission timeline: receive, ring
+	// lookup, relay of the shard's answer.
+	TIDRouterLifecycle int32 = 80
+	// TIDRouterAttempts is the per-replica attempt timeline: one span per
+	// backend tried in ring preference order, with retry instants between
+	// failovers.
+	TIDRouterAttempts int32 = 81
+)
+
 // Trace event phases (a subset of the Chrome trace_event phases).
 const (
 	// PhaseSpan is a complete event with a start and a duration ("X").
@@ -204,11 +219,89 @@ func trackName(tid int32) string {
 		return "points (wall)"
 	case TIDWallMeasures:
 		return "measures (wall)"
+	case TIDRouterLifecycle:
+		return "submit (router)"
+	case TIDRouterAttempts:
+		return "attempts (router)"
 	}
 	if tid >= TIDPageBase {
 		return "page " + strconv.Itoa(int(tid-TIDPageBase))
 	}
 	return "track " + strconv.Itoa(int(tid))
+}
+
+// chromeEncoder serializes tracers into the traceEvents array of one
+// Chrome trace_event document, tracking whether a separating comma is due.
+type chromeEncoder struct {
+	bw    *bufio.Writer
+	first bool
+}
+
+func (e *chromeEncoder) comma() {
+	if !e.first {
+		e.bw.WriteString(",\n")
+	} else {
+		e.bw.WriteString("\n")
+	}
+	e.first = false
+}
+
+// writeTracer emits one tracer's process metadata, thread names, and
+// events. shift is added to every timestamp — splicing one tracer's
+// timeline into a document whose epoch differs uses a negative shift —
+// and shifted times clamp at zero, mirroring the wall tracer's own
+// pre-epoch clamp.
+func (e *chromeEncoder) writeTracer(t *Tracer, fallbackPid int64, shift int64) {
+	pid := t.pid
+	if pid == 0 {
+		pid = fallbackPid
+	}
+	ts := func(v sim.Time) sim.Time {
+		s := int64(v) + shift
+		if s < 0 {
+			s = 0
+		}
+		return sim.Time(s)
+	}
+	if t.procName != "" {
+		e.comma()
+		fmt.Fprintf(e.bw, "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\",\"args\":{\"name\":%s}}",
+			pid, strconv.Quote(t.procName))
+	}
+	if d := t.Dropped(); d > 0 {
+		// Make ring overflow visible inside the trace itself: viewers
+		// show unknown metadata records in the event list, and tooling
+		// can grep for the name.
+		e.comma()
+		fmt.Fprintf(e.bw, "{\"ph\":\"M\",\"pid\":%d,\"name\":\"trace_dropped_events\",\"args\":{\"dropped\":%d}}",
+			pid, d)
+	}
+	events := t.Events()
+	named := make(map[int32]bool)
+	for _, ev := range events {
+		if !named[ev.TID] {
+			named[ev.TID] = true
+			e.comma()
+			fmt.Fprintf(e.bw, "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}}",
+				pid, ev.TID, strconv.Quote(trackName(ev.TID)))
+		}
+		e.comma()
+		fmt.Fprintf(e.bw, "{\"name\":%s,\"cat\":%s,\"ph\":\"%c\",\"pid\":%d,\"tid\":%d,\"ts\":",
+			strconv.Quote(ev.Name), strconv.Quote(ev.Cat), ev.Ph, pid, ev.TID)
+		writeTS(e.bw, ts(ev.Start))
+		if ev.Ph == PhaseSpan {
+			bw := e.bw
+			bw.WriteString(",\"dur\":")
+			writeTS(bw, sim.Time(ev.Dur))
+		}
+		if ev.Ph == PhaseInstant {
+			e.bw.WriteString(",\"s\":\"t\"")
+		}
+		if ev.HasArg {
+			fmt.Fprintf(e.bw, ",\"args\":{\"v\":%d}", ev.Arg)
+		}
+		e.bw.WriteString("}")
+	}
 }
 
 // WriteChrome renders the tracers' retained events as one Chrome
@@ -218,61 +311,12 @@ func trackName(tid int32) string {
 func WriteChrome(w io.Writer, tracers ...*Tracer) error {
 	bw := bufio.NewWriter(w)
 	bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[")
-	first := true
-	comma := func() {
-		if !first {
-			bw.WriteString(",\n")
-		} else {
-			bw.WriteString("\n")
-		}
-		first = false
-	}
+	enc := &chromeEncoder{bw: bw, first: true}
 	for i, t := range tracers {
 		if t == nil {
 			continue
 		}
-		pid := t.pid
-		if pid == 0 {
-			pid = int64(i + 1)
-		}
-		if t.procName != "" {
-			comma()
-			fmt.Fprintf(bw, "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\",\"args\":{\"name\":%s}}",
-				pid, strconv.Quote(t.procName))
-		}
-		if d := t.Dropped(); d > 0 {
-			// Make ring overflow visible inside the trace itself: viewers
-			// show unknown metadata records in the event list, and tooling
-			// can grep for the name.
-			comma()
-			fmt.Fprintf(bw, "{\"ph\":\"M\",\"pid\":%d,\"name\":\"trace_dropped_events\",\"args\":{\"dropped\":%d}}",
-				pid, d)
-		}
-		events := t.Events()
-		named := make(map[int32]bool)
-		for _, ev := range events {
-			if !named[ev.TID] {
-				named[ev.TID] = true
-				comma()
-				fmt.Fprintf(bw, "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}}",
-					pid, ev.TID, strconv.Quote(trackName(ev.TID)))
-			}
-			comma()
-			fmt.Fprintf(bw, "{\"name\":%s,\"cat\":%s,\"ph\":\"%c\",\"pid\":%d,\"tid\":%d,\"ts\":",
-				strconv.Quote(ev.Name), strconv.Quote(ev.Cat), ev.Ph, pid, ev.TID)
-			writeTS(bw, ev.Start)
-			if ev.Ph == PhaseSpan {
-				bw.WriteString(",\"dur\":")
-				writeTS(bw, sim.Time(ev.Dur))
-			}
-			if ev.Ph == PhaseInstant {
-				bw.WriteString(",\"s\":\"t\"")
-			}
-			if ev.HasArg {
-				fmt.Fprintf(bw, ",\"args\":{\"v\":%d}", ev.Arg)
-			}
-			bw.WriteString("}")
-		}
+		enc.writeTracer(t, int64(i+1), 0)
 	}
 	bw.WriteString("\n]}\n")
 	return bw.Flush()

@@ -1,6 +1,9 @@
 package obs
 
 import (
+	"bufio"
+	"bytes"
+	"fmt"
 	"io"
 	"sync"
 	"time"
@@ -175,6 +178,44 @@ func (w *WallTracer) SpanCount() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.tr.Len()
+}
+
+// Epoch returns the wall instant the tracer's timeline starts at. A nil
+// tracer's epoch is the zero time.
+func (w *WallTracer) Epoch() time.Time {
+	if w == nil {
+		return time.Time{}
+	}
+	return w.epoch
+}
+
+// SpliceChrome writes base — a complete Chrome trace_event document, as
+// produced by WriteChrome or a shard's /trace endpoint — with this
+// tracer's events appended as an additional process. shift re-aligns the
+// two clock domains: it is added to every spliced timestamp, so a caller
+// whose epoch differs from the base document's passes
+// thisEpoch.Sub(baseEpoch) and both timelines share one wall origin
+// (spliced events from before the base epoch clamp to zero). The export
+// holds the tracer's lock, so splicing never tears against concurrent
+// emission. A nil tracer relays base unchanged.
+func (w *WallTracer) SpliceChrome(out io.Writer, base []byte, shift time.Duration) error {
+	trimmed := bytes.TrimRight(base, " \t\r\n")
+	if !bytes.HasSuffix(trimmed, []byte("]}")) {
+		return fmt.Errorf("obs: splice base does not end a Chrome trace document")
+	}
+	head := trimmed[:len(trimmed)-2]
+	bw := bufio.NewWriter(out)
+	bw.Write(head)
+	if w != nil {
+		// An empty base events array takes no separating comma.
+		first := bytes.HasSuffix(bytes.TrimRight(head, " \t\r\n"), []byte("["))
+		enc := &chromeEncoder{bw: bw, first: first}
+		w.mu.Lock()
+		enc.writeTracer(w.tr, 1, shift.Nanoseconds()*int64(sim.Nanosecond))
+		w.mu.Unlock()
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
 }
 
 // WriteChrome renders the retained spans as a Chrome trace_event JSON

@@ -1,13 +1,9 @@
 package serve
 
 import (
-	"log/slog"
 	"net/http"
-	"runtime/debug"
-	"strings"
 	"time"
 
-	"activepages/internal/obs"
 	"activepages/internal/sim"
 )
 
@@ -18,105 +14,9 @@ func wallDuration(d time.Duration) sim.Duration {
 	return sim.Duration(d.Nanoseconds()) * sim.Nanosecond
 }
 
-// routeMetricName turns a mux pattern into a metric name segment:
-// "GET /api/v1/runs/{id}" -> "get_api_v1_runs_id".
-func routeMetricName(pattern string) string {
-	var b strings.Builder
-	prev := byte('_')
-	for i := 0; i < len(pattern); i++ {
-		c := pattern[i]
-		switch {
-		case c >= 'A' && c <= 'Z':
-			c += 'a' - 'A'
-		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
-		default:
-			c = '_'
-		}
-		if c == '_' && prev == '_' {
-			continue
-		}
-		b.WriteByte(c)
-		prev = c
-	}
-	return strings.Trim(b.String(), "_")
-}
-
-// statusWriter captures the response status and size for the access log.
-type statusWriter struct {
-	http.ResponseWriter
-	status int
-	bytes  int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	if w.status == 0 {
-		w.status = code
-	}
-	w.ResponseWriter.WriteHeader(code)
-}
-
-func (w *statusWriter) Write(p []byte) (int, error) {
-	if w.status == 0 {
-		w.status = http.StatusOK
-	}
-	n, err := w.ResponseWriter.Write(p)
-	w.bytes += n
-	return n, err
-}
-
-// Flush forwards to the wrapped writer when it supports flushing, so
-// handlers streaming live data (progress polls, trace exports) can push
-// bytes through the instrumentation wrapper.
-func (w *statusWriter) Flush() {
-	if f, ok := w.ResponseWriter.(http.Flusher); ok {
-		f.Flush()
-	}
-}
-
-// handle registers one route with its instrumentation: a per-route
-// latency histogram (pre-registered here, so the request path never
-// mutates the registry), a request counter, and a structured access log
-// line per request. Wiring the label at registration time keeps the
-// route->histogram mapping static and lock-free.
+// handle registers one route through the shared middleware layer: per-route
+// latency histogram under "serve.http.<route>", request counting, request-id
+// propagation, and a structured access-log line per request (see httpmw).
 func (s *Server) handle(pattern string, h http.HandlerFunc) {
-	hist := obs.NewLiveHistogram()
-	s.live.LiveHistogram("serve.http."+routeMetricName(pattern), hist)
-	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w}
-		h(sw, r)
-		elapsed := time.Since(start)
-		hist.Observe(wallDuration(elapsed))
-		s.httpRequests.Inc()
-		if sw.status >= 500 {
-			s.httpErrors.Inc()
-		}
-		s.log.LogAttrs(r.Context(), slog.LevelInfo, "http",
-			slog.String("method", r.Method),
-			slog.String("path", r.URL.Path),
-			slog.String("route", pattern),
-			slog.Int("status", sw.status),
-			slog.Int("bytes", sw.bytes),
-			slog.Int64("us", elapsed.Microseconds()),
-			slog.String("remote", r.RemoteAddr))
-	})
-}
-
-// recoverer is the outermost middleware: a panicking handler becomes a 500
-// and a logged stack instead of a killed connection, and requests that
-// match no route still get an access log line.
-func (s *Server) recoverer(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		defer func() {
-			if v := recover(); v != nil {
-				s.httpPanics.Inc()
-				s.httpErrors.Inc()
-				s.log.Error("handler panic",
-					"method", r.Method, "path", r.URL.Path,
-					"panic", v, "stack", string(debug.Stack()))
-				s.writeError(w, http.StatusInternalServerError, "internal error")
-			}
-		}()
-		next.ServeHTTP(w, r)
-	})
+	s.mw.Handle(s.mux, pattern, h)
 }

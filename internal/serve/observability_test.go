@@ -288,24 +288,6 @@ func TestPprofGated(t *testing.T) {
 	}
 }
 
-// TestStatusWriterFlush checks the instrumentation wrapper forwards Flush
-// to the underlying writer (streaming handlers rely on it) and stays a
-// no-op when the underlying writer cannot flush.
-func TestStatusWriterFlush(t *testing.T) {
-	rec := httptest.NewRecorder()
-	sw := &statusWriter{ResponseWriter: rec}
-	sw.Write([]byte("x"))
-	sw.Flush()
-	if !rec.Flushed {
-		t.Error("Flush not forwarded to underlying writer")
-	}
-	// A writer without Flusher support must not panic.
-	plain := &statusWriter{ResponseWriter: nopWriter{httptest.NewRecorder()}}
-	plain.Flush()
-}
-
-// nopWriter hides the recorder's Flusher implementation.
-type nopWriter struct{ http.ResponseWriter }
 
 // TestWriteJSONEncodeError checks an unencodable value surfaces in the
 // debug log instead of vanishing.
@@ -316,4 +298,59 @@ func TestWriteJSONEncodeError(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d (headers were already sent)", rec.Code)
 	}
+}
+
+// TestHealthzLoadFields checks the extended health report: the historical
+// status/instance fields keep their shape while queue and worker load ride
+// along, so a router probe doubles as a saturation reading.
+func TestHealthzLoadFields(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 3, QueueDepth: 7, InstanceID: "b0"}, false)
+	code, data := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d %s", code, data)
+	}
+	var body struct {
+		Status        string `json:"status"`
+		Instance      string `json:"instance"`
+		QueueDepth    *int   `json:"queue_depth"`
+		QueueCapacity int    `json:"queue_capacity"`
+		WorkersBusy   *int   `json:"workers_busy"`
+		WorkersTotal  int    `json:"workers_total"`
+	}
+	if err := json.Unmarshal(data, &body); err != nil {
+		t.Fatalf("healthz body: %v\n%s", err, data)
+	}
+	if body.Status != "ok" || body.Instance != "b0" {
+		t.Errorf("status=%q instance=%q, want ok/b0", body.Status, body.Instance)
+	}
+	if body.QueueDepth == nil || body.WorkersBusy == nil {
+		t.Fatalf("load fields missing: %s", data)
+	}
+	if *body.QueueDepth != 0 || body.QueueCapacity != 7 || *body.WorkersBusy != 0 || body.WorkersTotal != 3 {
+		t.Errorf("load fields = %s, want depth 0/7 busy 0/3", data)
+	}
+}
+
+// TestMetricszSnapshot checks the federation endpoint serves the same
+// snapshot /metrics renders, as JSON a router can obs.Snapshot-merge.
+func TestMetricszSnapshot(t *testing.T) {
+	s, ts := newTestServer(t, Config{}, true)
+	if resp, _ := submit(t, ts, `{"experiment":"array","quick":true}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	code, data := get(t, ts.URL+"/api/v1/metricsz")
+	if code != http.StatusOK {
+		t.Fatalf("metricsz: HTTP %d %s", code, data)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metricsz body: %v", err)
+	}
+	if got := snap["serve.runs_submitted"]; got != 1 {
+		t.Errorf("serve.runs_submitted = %d, want 1", got)
+	}
+	if _, ok := snap["serve.http.get_healthz.h.count"]; len(snap.Names()) == 0 && !ok {
+		t.Errorf("snapshot suspiciously empty: %v", snap.Names())
+	}
+	_ = s
 }

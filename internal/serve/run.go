@@ -51,6 +51,10 @@ type Run struct {
 	ID      string  `json:"id"`
 	Request Request `json:"request"`
 	State   State   `json:"state"`
+	// RequestID is the fleet-wide correlation id of the submission that
+	// created this run (the X-AP-Request-Id header), joining this run to
+	// the router's and shard's access-log lines for the same interaction.
+	RequestID string `json:"request_id,omitempty"`
 	// Error holds the failure cause when State is failed.
 	Error string `json:"error,omitempty"`
 	// Submitted/Started/Finished are wall-clock lifecycle stamps.
@@ -146,7 +150,7 @@ func newRegistry(retain int, instance string) *registry {
 // wall-clock trace, progress tracker, per-run jobs width, and spec key are
 // attached here, under the lock, so no published run is ever mutated
 // outside it.
-func (g *registry) add(req Request, spec string, now time.Time, trace *obs.WallTracer, prog *run.Progress, jobs int) *Run {
+func (g *registry) add(req Request, spec, rid string, now time.Time, trace *obs.WallTracer, prog *run.Progress, jobs int) *Run {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.next++
@@ -158,6 +162,7 @@ func (g *registry) add(req Request, spec string, now time.Time, trace *obs.WallT
 		ID:        id,
 		Request:   req,
 		State:     StateQueued,
+		RequestID: rid,
 		Submitted: now,
 		trace:     trace,
 		progress:  prog,

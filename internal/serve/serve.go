@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"activepages/internal/experiments"
+	"activepages/internal/httpmw"
 	"activepages/internal/obs"
 	"activepages/internal/radram"
 	"activepages/internal/report"
@@ -134,9 +135,10 @@ type Server struct {
 	cacheDedup   obs.LiveCounter // submissions attached to an in-flight leader
 	cacheEvicted obs.LiveCounter // results evicted by the byte budget
 
-	httpRequests obs.LiveCounter
-	httpErrors   obs.LiveCounter
-	httpPanics   obs.LiveCounter
+	// mw is the shared HTTP middleware layer: per-route histograms,
+	// request/error/panic counters under "serve.", access logs, and
+	// request-id propagation (see internal/httpmw).
+	mw *httpmw.Instrument
 
 	mux     *http.ServeMux
 	handler http.Handler
@@ -185,12 +187,11 @@ func New(cfg Config) *Server {
 		_, b := s.memo.stats()
 		return int64(b)
 	})
-	s.live.Counter("serve.http_requests", s.httpRequests.Load)
-	s.live.Counter("serve.http_errors", s.httpErrors.Load)
-	s.live.Counter("serve.http_panics", s.httpPanics.Load)
+	s.mw = httpmw.NewInstrument(s.log, s.live, "serve.")
 
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("GET /api/v1/metricsz", s.handleMetricsz)
 	s.handle("POST /api/v1/runs", s.handleSubmit)
 	s.handle("GET /api/v1/runs", s.handleList)
 	s.handle("GET /api/v1/runs/{id}", s.handleGet)
@@ -209,7 +210,7 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	s.handler = s.recoverer(s.mux)
+	s.handler = s.mw.Recoverer(s.mux)
 	return s
 }
 
@@ -453,7 +454,16 @@ func (s *Server) execute(id string) {
 // --- handlers ---
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	body := map[string]string{"status": "ok"}
+	// The status and instance fields keep their historical shape (string
+	// values, same keys); the load fields ride along so a fleet router's
+	// probe doubles as a saturation report without a second request.
+	body := map[string]any{
+		"status":         "ok",
+		"queue_depth":    len(s.queue),
+		"queue_capacity": cap(s.queue),
+		"workers_busy":   s.runsActive.Load(),
+		"workers_total":  s.cfg.Workers,
+	}
 	if s.cfg.InstanceID != "" {
 		// The fleet router learns each shard's run-id prefix from here.
 		body["instance"] = s.cfg.InstanceID
@@ -505,6 +515,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.WriteGoExposition(w)
 }
 
+// handleMetricsz serves the raw metrics snapshot as JSON — the federation
+// endpoint a fleet router scrapes to merge shard metrics under the exact
+// snapshot merge rules (counters sum, _max keys max, histogram buckets
+// sum) instead of re-parsing Prometheus text.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	j, err := s.MetricsSnapshot().JSON()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(j, '\n'))
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -542,16 +566,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if res := s.memo.lookupLocked(spec); res != nil {
 		s.memo.mu.Unlock()
-		s.completeFromCache(w, req, spec, res)
+		s.completeFromCache(w, r, req, spec, res)
 		return
 	}
+	rid := httpmw.RequestID(r.Context())
 	now := time.Now()
 	// The run's wall-clock trace starts at submission (epoch zero), so the
 	// queue-wait span renders from the origin of the run's timeline.
 	trace := obs.NewWallTracer(now, 0)
-	rn := s.reg.add(req, spec, now, trace, newRunProgress(trace), s.cfg.JobsPerRun)
+	rn := s.reg.add(req, spec, rid, now, trace, newRunProgress(trace), s.cfg.JobsPerRun)
 	trace.SetProcess(1, rn.ID+" (wall clock)")
-	trace.Log(now, "submitted", map[string]string{"request": req.String()})
+	trace.Log(now, "submitted", map[string]string{"request": req.String(), "request_id": rid})
 	select {
 	case s.queue <- rn.ID:
 		s.memo.setInflightLocked(spec, rn.ID)
@@ -569,7 +594,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.runsSubmitted.Inc()
 	s.cacheMisses.Inc()
-	s.log.Info("run submitted", "id", rn.ID, "request", req.String())
+	s.log.Info("run submitted", "id", rn.ID, "request", req.String(), "request_id", rid)
 	w.Header().Set(CacheResultHeader, "miss")
 	w.Header().Set("Location", "/api/v1/runs/"+rn.ID)
 	// Re-fetch under the registry lock: a worker may already be mutating
@@ -584,15 +609,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // state. The lifecycle trace gets the same span taxonomy as an executed
 // run — a zero queue_wait and a near-zero execute span — so cached runs
 // are first-class citizens of the §13 tooling, just visibly free.
-func (s *Server) completeFromCache(w http.ResponseWriter, req Request, spec string, res *cachedRun) {
+func (s *Server) completeFromCache(w http.ResponseWriter, r *http.Request, req Request, spec string, res *cachedRun) {
+	rid := httpmw.RequestID(r.Context())
 	now := time.Now()
 	// A cached run's whole lifecycle is a handful of spans and log lines;
 	// the default ring (8Ki events, ~1 MiB zeroed per tracer) would
 	// dominate the hit path's CPU and heap at fleet request rates.
 	trace := obs.NewWallTracer(now, cachedRunTraceEvents)
-	rn := s.reg.add(req, spec, now, trace, newRunProgress(trace), s.cfg.JobsPerRun)
+	rn := s.reg.add(req, spec, rid, now, trace, newRunProgress(trace), s.cfg.JobsPerRun)
 	trace.SetProcess(1, rn.ID+" (wall clock)")
-	trace.Log(now, "submitted", map[string]string{"request": req.String()})
+	trace.Log(now, "submitted", map[string]string{"request": req.String(), "request_id": rid})
 	s.runsSubmitted.Inc()
 	s.cacheHits.Inc()
 	started := time.Now()
@@ -612,7 +638,7 @@ func (s *Server) completeFromCache(w http.ResponseWriter, req Request, spec stri
 	s.runsCompleted.Inc()
 	s.finish(rn.ID, StateDone, "", elapsed)
 	s.log.Info("run served from cache", "id", rn.ID,
-		"request", req.String(), "elapsed_us", elapsed.Microseconds())
+		"request", req.String(), "request_id", rid, "elapsed_us", elapsed.Microseconds())
 	w.Header().Set(CacheResultHeader, "hit")
 	w.Header().Set("Location", "/api/v1/runs/"+rn.ID)
 	view, _ := s.reg.get(rn.ID)

@@ -341,25 +341,12 @@ func TestPanicRecovery(t *testing.T) {
 	if code != http.StatusInternalServerError || !bytes.Contains(data, []byte("internal error")) {
 		t.Fatalf("panic route: %d %s", code, data)
 	}
-	if got := s.httpPanics.Load(); got != 1 {
+	if got := s.mw.Panics(); got != 1 {
 		t.Errorf("http_panics = %d, want 1", got)
 	}
 	// The frontend must still serve.
 	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
 		t.Errorf("healthz after panic: HTTP %d", code)
-	}
-}
-
-// TestRouteMetricName pins the pattern -> metric segment mapping.
-func TestRouteMetricName(t *testing.T) {
-	for pattern, want := range map[string]string{
-		"GET /healthz":                 "get_healthz",
-		"POST /api/v1/runs":            "post_api_v1_runs",
-		"GET /api/v1/runs/{id}/output": "get_api_v1_runs_id_output",
-	} {
-		if got := routeMetricName(pattern); got != want {
-			t.Errorf("routeMetricName(%q) = %q, want %q", pattern, got, want)
-		}
 	}
 }
 
